@@ -1,0 +1,52 @@
+// Figure 3 — speedups on the 8-node cluster for every application:
+// unoptimized vs compiler-optimized shared memory, single-cpu and dual-cpu
+// protocol processing, plus the message-passing backend; all relative to
+// the uniprocessor run.
+//
+// Expected shape (paper §6): optimization improves every app; single-cpu
+// configurations gain proportionally more; message passing wins only on lu;
+// grav improves least.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fgdsm;
+  const bench::BenchConfig bc = bench::BenchConfig::from_args(argc, argv);
+  std::printf(
+      "Figure 3: speedups vs uniprocessor (scale=%.2f, %d nodes, %zuB "
+      "blocks)\n",
+      bc.scale, bc.nodes, bc.block);
+  util::Table t({"app", "sm-unopt 1cpu", "sm-opt 1cpu", "sm-unopt 2cpu",
+                 "sm-opt 2cpu", "msg-passing", "opt gain 2cpu"});
+  for (const auto& app : apps::registry()) {
+    if (!bc.selected(app.name)) continue;
+    const hpf::Program prog = app.scaled(bc.scale);
+    const auto serial =
+        bench::run_app(prog, core::serial(), 1, true, bc.block);
+    const auto u1 = bench::run_app(prog, core::shmem_unopt(), bc.nodes,
+                                   false, bc.block);
+    const auto o1 = bench::run_app(prog, core::shmem_opt_full(), bc.nodes,
+                                   false, bc.block);
+    const auto u2 = bench::run_app(prog, core::shmem_unopt(), bc.nodes,
+                                   true, bc.block);
+    const auto o2 = bench::run_app(prog, core::shmem_opt_full(), bc.nodes,
+                                   true, bc.block);
+    const auto mp = bench::run_app(prog, core::msg_passing(), bc.nodes,
+                                   true, bc.block);
+    const double gain = 100.0 * (static_cast<double>(u2.stats.elapsed_ns) -
+                                 static_cast<double>(o2.stats.elapsed_ns)) /
+                        static_cast<double>(u2.stats.elapsed_ns);
+    t.add_row({app.name, util::Table::cell(bench::speedup(serial, u1)),
+               util::Table::cell(bench::speedup(serial, o1)),
+               util::Table::cell(bench::speedup(serial, u2)),
+               util::Table::cell(bench::speedup(serial, o2)),
+               util::Table::cell(bench::speedup(serial, mp)),
+               util::Table::percent(gain)});
+    std::fflush(stdout);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 4 — the contribution of bulk transfer and run-time overhead
+// elimination (dual-cpu): execution time of each optimization level as a
+// fraction of the unoptimized run.
+//
+// Expected shape (paper §6): base > +bulk > +bulk+rtelim (lower is better),
+// with bulk transfer the more important of the two.
+// The +pre column is this reproduction's extension (the paper's §4.3/§7
+// future work): availability-based redundant-communication elimination.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fgdsm;
+  const bench::BenchConfig bc = bench::BenchConfig::from_args(argc, argv);
+  std::printf(
+      "Figure 4: normalized execution time, dual-cpu (scale=%.2f, %d "
+      "nodes)\n",
+      bc.scale, bc.nodes);
+  util::Table t({"app", "unopt", "base opts", "+bulk", "+bulk+rtelim",
+                 "+pre (ext.)"});
+  for (const auto& app : apps::registry()) {
+    if (!bc.selected(app.name)) continue;
+    const hpf::Program prog = app.scaled(bc.scale);
+    const auto unopt = bench::run_app(prog, core::shmem_unopt(), bc.nodes,
+                                      true, bc.block);
+    const double base_ns = static_cast<double>(unopt.stats.elapsed_ns);
+    auto frac = [&](const core::Options& opt) {
+      const auto r = bench::run_app(prog, opt, bc.nodes, true, bc.block);
+      return static_cast<double>(r.stats.elapsed_ns) / base_ns;
+    };
+    t.add_row({app.name, "1.00",
+               util::Table::cell(frac(core::shmem_opt_base())),
+               util::Table::cell(frac(core::shmem_opt_bulk())),
+               util::Table::cell(frac(core::shmem_opt_full())),
+               util::Table::cell(frac(core::shmem_opt_pre()))});
+    std::fflush(stdout);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared infrastructure for the experiment harnesses (one binary per paper
+// table/figure). Each binary accepts:
+//   --scale=<s>     problem-size scale factor (1.0 = the paper's Table 2
+//                   sizes; default 0.15 keeps a bare run quick; EXPERIMENTS.md records --scale=0.5 and --full runs)
+//   --nodes=<n>     cluster size (default 8, as in the paper)
+//   --block=<b>     coherence block size in bytes (default 128)
+//   --app=<name>    restrict to one application
+//   --full          shorthand for --scale=1.0
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/apps.h"
+#include "src/core/options.h"
+#include "src/exec/executor.h"
+#include "src/util/options.h"
+
+namespace fgdsm::bench {
+
+struct BenchConfig {
+  double scale = 0.15;
+  int nodes = 8;
+  std::size_t block = 128;
+  std::optional<std::string> only_app;
+
+  static BenchConfig from_args(int argc, const char* const* argv) {
+    util::Options o(argc, argv);
+    BenchConfig c;
+    c.scale = o.get_double("scale", o.get_bool("full") ? 1.0 : 0.15);
+    c.nodes = static_cast<int>(o.get_int("nodes", 8));
+    c.block = static_cast<std::size_t>(o.get_int("block", 128));
+    if (o.has("app")) c.only_app = o.get("app");
+    return c;
+  }
+
+  bool selected(const std::string& app) const {
+    return !only_app || *only_app == app;
+  }
+};
+
+// Run `prog` under the given options; gather_arrays stays off (programs
+// verify themselves through checksum scalars).
+inline exec::RunResult run_app(const hpf::Program& prog,
+                               const core::Options& opt, int nodes,
+                               bool dual_cpu, std::size_t block) {
+  exec::RunConfig cfg;
+  cfg.cluster.nnodes = nodes;
+  cfg.cluster.block_size = block;
+  cfg.cluster.dual_cpu = dual_cpu;
+  cfg.opt = opt;
+  cfg.gather_arrays = false;
+  return exec::run(prog, cfg);
+}
+
+inline double speedup(const exec::RunResult& serial,
+                      const exec::RunResult& parallel) {
+  return static_cast<double>(serial.stats.elapsed_ns) /
+         static_cast<double>(parallel.stats.elapsed_ns);
+}
+
+}  // namespace fgdsm::bench

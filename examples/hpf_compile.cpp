@@ -1,0 +1,117 @@
+// Compile a mini-HPF source program (from a file, or a built-in demo), dump
+// what the compiler sees — distributions, per-processor iteration sets, and
+// the non-owner read/write transfers each INDEPENDENT loop implies — then
+// execute it on the simulated cluster with and without the optimizations.
+//
+//   $ ./examples/hpf_compile [source.hpf] [--nodes=4]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/exec/executor.h"
+#include "src/hpf/analysis.h"
+#include "src/hpf/frontend/lower.h"
+#include "src/hpf/frontend/parser.h"
+#include "src/util/options.h"
+
+using namespace fgdsm;
+
+static const char* kDemo = R"(PROGRAM demo
+  PARAMETER (n = 64)
+  REAL u(n, n), v(n, n)
+!HPF$ PROCESSORS P(*)
+!HPF$ DISTRIBUTE u(*, BLOCK)
+!HPF$ DISTRIBUTE v(*, BLOCK)
+
+!HPF$ INDEPENDENT, ON HOME (u(:, j))
+  DO j = 1, n
+    DO i = 1, n
+      u(i, j) = 0.001 * (i + 3*j)
+      v(i, j) = 0
+    END DO
+  END DO
+
+!HPF$ INDEPENDENT, ON HOME (v(:, j))
+  DO j = 2, n-1
+    DO i = 2, n-1
+      v(i, j) = 0.25 * (u(i-1, j) + u(i+1, j) + u(i, j-1) + u(i, j+1))
+    END DO
+  END DO
+END
+)";
+
+int main(int argc, char** argv) {
+  util::Options o(argc, argv);
+  const int nodes = static_cast<int>(o.get_int("nodes", 4));
+  std::string source = kDemo;
+  if (!o.positional().empty()) {
+    std::ifstream in(o.positional()[0]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", o.positional()[0].c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+
+  hpf::Program prog;
+  try {
+    prog = hpf::frontend::compile(source);
+  } catch (const hpf::frontend::ParseError& e) {
+    std::fprintf(stderr, "compile error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("program %s: %zu arrays, %zu parallel loops, %d processors\n",
+              prog.name.c_str(), prog.arrays.size(), prog.phases.size(),
+              nodes);
+  for (const auto& a : prog.arrays) {
+    std::printf("  array %-8s dims=%zu dist=%s\n", a.name.c_str(),
+                a.extents.size(), to_string(a.dist));
+  }
+
+  hpf::Bindings b = prog.sizes;
+  b.set(hpf::kSymNProcs, nodes);
+  b.set(hpf::kSymProc, 0);
+  for (const auto& ph : prog.phases) {
+    if (ph.kind != hpf::Phase::Kind::kParallelLoop) continue;
+    const auto& loop = *ph.loop;
+    std::printf("\nloop %s (dist var '%s', home %s):\n", loop.name.c_str(),
+                loop.dist.sym.c_str(), loop.home_array.c_str());
+    for (int p = 0; p < nodes; ++p) {
+      const auto iters = hpf::local_iters(loop, prog, b, nodes, p);
+      std::printf("  node %d iterates %s=[%lld..%lld]\n", p,
+                  loop.dist.sym.c_str(), static_cast<long long>(iters.lo),
+                  static_cast<long long>(iters.hi));
+    }
+    const auto transfers = hpf::analyze_transfers(loop, prog, b, nodes);
+    if (transfers.empty()) {
+      std::printf("  no communication (all references owner-local)\n");
+    } else {
+      for (const auto& t : transfers)
+        std::printf("  %s: node %d -> node %d, %lld elements%s\n",
+                    t.array.c_str(), t.sender, t.receiver,
+                    static_cast<long long>(t.section.count()),
+                    t.for_write ? " (non-owner write)" : "");
+    }
+  }
+
+  auto run_with = [&](core::Options opt) {
+    exec::RunConfig cfg;
+    cfg.cluster.nnodes = nodes;
+    cfg.opt = opt;
+    return exec::run(prog, cfg);
+  };
+  const auto unopt = run_with(core::shmem_unopt());
+  const auto opt = run_with(core::shmem_opt_full());
+  std::printf("\nexecution (simulated): unoptimized %s, optimized %s "
+              "(%.1f%% faster), misses/node %.0f -> %.0f\n",
+              util::format_ns(unopt.stats.elapsed_ns).c_str(),
+              util::format_ns(opt.stats.elapsed_ns).c_str(),
+              100.0 * (1.0 - static_cast<double>(opt.stats.elapsed_ns) /
+                                 static_cast<double>(unopt.stats.elapsed_ns)),
+              unopt.stats.avg_misses_per_node(),
+              opt.stats.avg_misses_per_node());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Run the LU application — the paper's one case where message passing beats
+// shared memory — across every configuration and print the comparison,
+// including the per-iteration pivot-column broadcast behaviour.
+//
+//   $ ./examples/lu_broadcast [--n=256] [--nodes=8]
+#include <cstdio>
+
+#include "src/apps/apps.h"
+#include "src/exec/executor.h"
+#include "src/util/options.h"
+#include "src/util/stats.h"
+
+using namespace fgdsm;
+
+int main(int argc, char** argv) {
+  util::Options o(argc, argv);
+  const std::int64_t n = o.get_int("n", 256);
+  const int nodes = static_cast<int>(o.get_int("nodes", 8));
+  const hpf::Program prog = apps::lu(n);
+
+  std::printf("lu %lldx%lld, CYCLIC columns, %d nodes\n",
+              static_cast<long long>(n), static_cast<long long>(n), nodes);
+
+  auto run_with = [&](core::Options opt, bool dual) {
+    exec::RunConfig cfg;
+    cfg.cluster.nnodes = nodes;
+    cfg.cluster.dual_cpu = dual;
+    cfg.opt = opt;
+    return exec::run(prog, cfg);
+  };
+  const auto serial = [&] {
+    exec::RunConfig cfg;
+    cfg.opt = core::serial();
+    return exec::run(prog, cfg);
+  }();
+
+  struct Row {
+    const char* label;
+    exec::RunResult r;
+  };
+  const Row rows[] = {
+      {"sm-unopt (dual-cpu)", run_with(core::shmem_unopt(), true)},
+      {"sm-opt   (dual-cpu)", run_with(core::shmem_opt_full(), true)},
+      {"msg-passing", run_with(core::msg_passing(), true)},
+  };
+  std::printf("  %-22s %12s %9s %14s %12s\n", "configuration", "time",
+              "speedup", "misses/node", "checksum");
+  std::printf("  %-22s %12s %9s %14s %12.6f\n", "serial",
+              util::format_ns(serial.stats.elapsed_ns).c_str(), "1.00", "-",
+              serial.scalars.at("checksum"));
+  for (const Row& row : rows) {
+    std::printf("  %-22s %12s %9.2f %14.1f %12.6f\n", row.label,
+                util::format_ns(row.r.stats.elapsed_ns).c_str(),
+                static_cast<double>(serial.stats.elapsed_ns) /
+                    static_cast<double>(row.r.stats.elapsed_ns),
+                row.r.stats.avg_misses_per_node(),
+                row.r.scalars.at("checksum"));
+  }
+  std::printf(
+      "\nThe pivot column shrinks with k; late columns do not cover whole\n"
+      "blocks, so the optimized shared-memory version loses its edge there\n"
+      "while message passing ships exact bytes — the paper's explanation of\n"
+      "why MP wins only on lu (Section 6).\n");
+  return 0;
+}

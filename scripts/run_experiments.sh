@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure. Usage:
+#   scripts/run_experiments.sh [--full] [--scale=S] [--nodes=N]
+# Results land in results/ (one file per experiment).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ARGS=("$@")
+mkdir -p results
+BIN=build/bench
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ${ARGS[*]-} ==="
+  "$BIN/$name" "${ARGS[@]}" | tee "results/$name.txt"
+  echo
+}
+
+run bench_table1
+run bench_table2
+run bench_fig1_msgs
+run bench_fig3
+run bench_table3
+run bench_fig4
+run bench_ablation
+run bench_paper
+echo "All results written to results/"

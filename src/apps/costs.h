@@ -1,0 +1,36 @@
+// Per-kernel compute-cost calibration (virtual ns per innermost iteration).
+//
+// Targets: the per-node compute times of the paper's Table 3 at full
+// problem size on 8 nodes, for a 66 MHz HyperSPARC (~15 ns/cycle):
+//
+//   app      Table 3 compute   work/node (full size)        implied ns/elem
+//   jacobi   31   s            2048^2/8 els x 100 sweeps      ~ 590
+//   pde      33.6 s            128^3/8 els x 40 iters         ~ 3200*
+//   shallow  35.2 s            1025x513/8 els x 100 x ~9 lp   ~ 53/loop-el
+//   grav     12.0 s            129^2(x129)/8 x 5 iters        (reduction heavy)
+//   lu       51.1 s            (2/3)1024^3 / 8 flop-pairs     ~ 5.7/el-update
+//   cg       13.6 s            2x180x360/8 els x 630 iters    ~ 1330/matvec-row
+//
+// (*) pde's RELAX does a 7-point double-precision update with red/black
+// masking; the Genesis kernel also recomputes residuals, hence the higher
+// per-element cost.
+#pragma once
+
+namespace fgdsm::apps::costs {
+
+inline constexpr double kInitNs = 120.0;    // cheap init stores
+inline constexpr double kReduceNs = 60.0;   // sum/accumulate per element
+
+inline constexpr double kJacobiSweepNs = 590.0;
+inline constexpr double kPdeRelaxNs = 3300.0;   // per red/black half-sweep el
+inline constexpr double kShallowLoopNs = 420.0;  // per element per loop
+inline constexpr double kGravRelaxNs = 700.0;
+// grav's moment rounds carry real math per point (the paper's grav computes
+// 12 s/node over 5 iterations, dominated by these reduction rounds).
+inline constexpr double kGravMomentNs = 4000.0;
+inline constexpr double kLuUpdateNs = 90.0;      // per (i,j) update
+inline constexpr double kLuScaleNs = 120.0;      // pivot column scaling
+inline constexpr double kCgMatvecNs = 95.0;      // per a(i,j) mac
+inline constexpr double kCgVecNs = 70.0;         // per vector element
+
+}  // namespace fgdsm::apps::costs

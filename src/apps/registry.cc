@@ -1,0 +1,55 @@
+#include "src/apps/apps.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgdsm::apps {
+
+namespace {
+std::int64_t scale_dim(std::int64_t full, double s, std::int64_t min_v) {
+  return std::max<std::int64_t>(min_v,
+                                static_cast<std::int64_t>(full * s));
+}
+std::int64_t scale_it(std::int64_t full, double s, std::int64_t min_v) {
+  return std::max<std::int64_t>(min_v,
+                                static_cast<std::int64_t>(full * s));
+}
+}  // namespace
+
+const std::vector<AppInfo>& registry() {
+  static const std::vector<AppInfo> apps = {
+      {"pde", [] { return pde(128, 40); },
+       [](double s) {
+         return pde(scale_dim(128, s, 48), scale_it(40, s, 2));
+       },
+       56.0, "grid size 128, 40 iters (RELAX routine only)"},
+      {"shallow", [] { return shallow(1025, 513, 100); },
+       [](double s) {
+         return shallow(scale_dim(1025, s, 33), scale_dim(513, s, 17),
+                        scale_it(100, s, 4));
+       },
+       28.0, "1025x513 grid, 100 iters"},
+      {"grav", [] { return grav(128, 5); },
+       [](double s) { return grav(scale_dim(128, s, 16), 5); },
+       17.0, "grid size 128, 5 iters"},
+      {"lu", [] { return lu(1024); },
+       [](double s) { return lu(scale_dim(1024, s, 32)); },
+       4.0, "1024x1024 matrix"},
+      {"cg", [] { return cg(180, 360, 630); },
+       [](double s) {
+         // The paper's matrix is already small; scaling it down guts the
+         // compute/communication ratio. Keep the full matrix and scale the
+         // iteration count instead.
+         return cg(180, 360, scale_it(630, s, 10));
+       },
+       4.6, "180x360 matrix, converges in 630 iters"},
+      {"jacobi", [] { return jacobi(2048, 100); },
+       [](double s) {
+         return jacobi(scale_dim(2048, s, 32), scale_it(100, s, 4));
+       },
+       32.0, "2048x2048 matrix, 100 iters"},
+  };
+  return apps;
+}
+
+}  // namespace fgdsm::apps

@@ -1,0 +1,57 @@
+#include "src/core/options.h"
+
+namespace fgdsm::core {
+
+std::string Options::label() const {
+  switch (mode) {
+    case Mode::kSerial: return "serial";
+    case Mode::kShmemUnopt: return "sm-unopt";
+    case Mode::kMsgPassing: return "msg-passing";
+    case Mode::kShmemOpt: {
+      std::string s = "sm-opt";
+      if (bulk_transfer) s += "+bulk";
+      if (rt_overhead_elim) s += "+rtelim";
+      if (elim_redundant_comm) s += "+pre";
+      return s;
+    }
+  }
+  return "?";
+}
+
+Options serial() {
+  Options o;
+  o.mode = Mode::kSerial;
+  return o;
+}
+Options shmem_unopt() {
+  Options o;
+  o.mode = Mode::kShmemUnopt;
+  return o;
+}
+Options shmem_opt_base() {
+  Options o;
+  o.mode = Mode::kShmemOpt;
+  return o;
+}
+Options shmem_opt_bulk() {
+  Options o = shmem_opt_base();
+  o.bulk_transfer = true;
+  return o;
+}
+Options shmem_opt_full() {
+  Options o = shmem_opt_bulk();
+  o.rt_overhead_elim = true;
+  return o;
+}
+Options shmem_opt_pre() {
+  Options o = shmem_opt_full();
+  o.elim_redundant_comm = true;
+  return o;
+}
+Options msg_passing() {
+  Options o;
+  o.mode = Mode::kMsgPassing;
+  return o;
+}
+
+}  // namespace fgdsm::core

@@ -1,0 +1,86 @@
+// The communication planner — the paper's second compiler task (§4.2):
+// turn the analyzed non-owner read/write sets of a parallel loop into the
+// per-node schedule of runtime calls that bypass the default protocol.
+//
+// Every node computes the same transfer set deterministically, so senders
+// and receivers agree on each range and on the block counts the counting
+// semaphores await. shmem_limits (block_align_inner) shrinks every range to
+// whole blocks; the trimmed edges stay with the default protocol.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/hpf/analysis.h"
+#include "src/hpf/layout.h"
+
+namespace fgdsm::core {
+
+using hpf::GAddr;
+using hpf::Run;
+
+// Instantiated communication schedule of one parallel loop, from the
+// perspective of node `me`.
+struct CommPlan {
+  // Sender side (I am the HPF owner of the data).
+  struct Send {
+    Run run;
+    int dst;
+  };
+  std::vector<Send> sends;          // data shipped before the loop
+  std::vector<Run> mk_writable;     // ranges I must hold writable first
+
+  // Receiver side.
+  std::vector<Run> recv;            // ranges opened with implicit_writable
+  // ready_to_recv counts. Units: blocks when the plan is block-aligned
+  // (shared memory), bytes otherwise (message passing).
+  std::int64_t expected_pre = 0;    // data arriving before the loop
+  std::int64_t expected_post = 0;   // flush-backs arriving after (I own them)
+
+  // Non-owner-write epilogue (I am the writer): flush back to the owner.
+  struct Flush {
+    Run run;
+    int owner;
+  };
+  std::vector<Flush> flushes;
+
+  // True if ANY node participates in communication for this loop (set
+  // identically on every node) — gates the barrier structure, which must be
+  // a global decision even for nodes with nothing to send or receive.
+  bool any_comm = false;
+  // True if ANY transfer in the loop is a non-owner write (set identically
+  // on every node) — gates the MP backend's flush epoch.
+  bool any_flush = false;
+
+  bool trivial() const {
+    return sends.empty() && recv.empty() && expected_pre == 0 &&
+           expected_post == 0 && flushes.empty();
+  }
+};
+
+// Layout table for the program's arrays (built by the executor at
+// instantiation).
+using LayoutMap = std::map<std::string, hpf::ArrayLayout>;
+
+// Build the plan for `loop` as seen by node `me`. The same call on every
+// node yields mutually consistent plans. block_align=true (shared memory):
+// ranges shrink to whole blocks (shmem_limits) and counts are in blocks;
+// block_align=false (message passing): exact section bytes, counts in bytes.
+CommPlan build_comm_plan(const hpf::ParallelLoop& loop,
+                         const hpf::Program& prog, const hpf::Bindings& b,
+                         const LayoutMap& layouts, int np, int me,
+                         std::size_t block_size, bool block_align = true);
+
+// Lower an explicit (possibly availability-filtered) transfer list into a
+// plan; build_comm_plan is analyze_transfers + this.
+CommPlan plan_from_transfers(const std::vector<hpf::Transfer>& transfers,
+                             const LayoutMap& layouts, int me,
+                             std::size_t block_size, bool block_align);
+
+// Normalize: sort runs by address and merge adjacent/overlapping ones.
+std::vector<Run> normalize_runs(std::vector<Run> runs);
+
+}  // namespace fgdsm::core

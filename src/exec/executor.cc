@@ -1,0 +1,572 @@
+#include "src/exec/executor.h"
+
+#include <cstring>
+#include <memory>
+#include <set>
+
+#include "src/core/plan.h"
+#include "src/hpf/analysis.h"
+#include "src/mp/runtime.h"
+#include "src/proto/stache.h"
+#include "src/tempest/cluster.h"
+#include "src/util/assert.h"
+#include "src/util/log.h"
+
+namespace fgdsm::exec {
+namespace {
+
+using core::CommPlan;
+using core::Mode;
+using hpf::Bindings;
+using hpf::ConcreteInterval;
+using hpf::ConcreteSection;
+using hpf::GAddr;
+using hpf::Run;
+using tempest::BlockId;
+using tempest::Node;
+
+bool transfer_eq(const hpf::Transfer& a, const hpf::Transfer& b) {
+  return a.array == b.array && a.sender == b.sender &&
+         a.receiver == b.receiver && a.for_write == b.for_write &&
+         a.section == b.section;
+}
+bool transfers_eq(const std::vector<hpf::Transfer>& a,
+                  const std::vector<hpf::Transfer>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!transfer_eq(a[i], b[i])) return false;
+  return true;
+}
+
+// Per-node execution state.
+struct NodeRun {
+  Node* node = nullptr;
+  sim::Task* task = nullptr;
+  Bindings bind;  // sizes + $p/$np + live time-loop counters
+  std::map<std::string, double> scalars;
+  double reduce_acc = 0.0;
+
+  // §4.3 run-time overhead elimination: ranges already opened by
+  // implicit_writable, per loop (first-time-only fast path).
+  std::map<const hpf::ParallelLoop*, std::vector<Run>> opened;
+
+  // Redundant-communication elimination (extension): per-array write
+  // versions and the last communicated transfer set per loop.
+  std::map<std::string, std::int64_t> write_version;
+  struct AvailEntry {
+    std::map<std::string, std::int64_t> versions;  // per array at comm time
+    std::vector<hpf::Transfer> transfers;
+  };
+  std::map<const hpf::ParallelLoop*, AvailEntry> avail;
+
+  util::NodeStats snap;      // stats at program completion
+  sim::Time snap_time = 0;
+};
+
+class ExecCtx final : public hpf::BodyCtx {
+ public:
+  ExecCtx(NodeRun& st, const core::LayoutMap& layouts, std::int64_t dist)
+      : st_(st), layouts_(layouts), dist_(dist) {}
+
+  std::int64_t dist() const override { return dist_; }
+  std::int64_t sym(const std::string& name) const override {
+    return st_.bind.get(name);
+  }
+  double scalar(const std::string& name) const override {
+    auto it = st_.scalars.find(name);
+    FGDSM_ASSERT_MSG(it != st_.scalars.end(), "unknown scalar " << name);
+    return it->second;
+  }
+  void set_scalar(const std::string& name, double v) override {
+    st_.scalars[name] = v;
+  }
+  void contribute(double v) override { st_.reduce_acc += v; }
+  double* data(const std::string& array) override {
+    return reinterpret_cast<double*>(
+        st_.node->mem(layouts_.at(array).base));
+  }
+  const hpf::ArrayLayout& layout(const std::string& array) const override {
+    return layouts_.at(array);
+  }
+
+ private:
+  NodeRun& st_;
+  const core::LayoutMap& layouts_;
+  std::int64_t dist_;
+};
+
+class Executor {
+ public:
+  Executor(const hpf::Program& prog, RunConfig cfg)
+      : prog_(prog), cfg_(std::move(cfg)), cluster_([&] {
+          tempest::ClusterConfig c = cfg_.cluster;
+          if (cfg_.opt.mode == Mode::kSerial) c.nnodes = 1;
+          return c;
+        }()) {
+    FGDSM_ASSERT_MSG(!cfg_.opt.elim_redundant_comm ||
+                         cfg_.opt.rt_overhead_elim,
+                     "redundant-communication elimination requires the "
+                     "run-time overhead elimination level");
+    // Bind sizes: program defaults overridden by the config.
+    base_bind_ = prog_.sizes;
+    // (Bindings has no iteration; apply overrides by name when evaluating —
+    // instead we just overlay: overrides win.)
+    // Allocate arrays.
+    for (const auto& a : prog_.arrays) {
+      hpf::ArrayLayout lay;
+      lay.name = a.name;
+      for (const auto& e : a.extents) lay.extents.push_back(e.eval(bind0()));
+      lay.elem = 8;
+      lay.base = cluster_.allocate(a.name, lay.bytes());
+      layouts_[a.name] = lay;
+    }
+    switch (cfg_.opt.mode) {
+      case Mode::kShmemUnopt:
+      case Mode::kShmemOpt:
+        stache_ = std::make_unique<proto::Stache>(cluster_);
+        break;
+      case Mode::kMsgPassing:
+        mp_ = std::make_unique<mp::MpRuntime>(cluster_);
+        break;
+      case Mode::kSerial:
+        break;
+    }
+    nodes_.resize(static_cast<std::size_t>(cluster_.nnodes()));
+  }
+
+  RunResult execute() {
+    cluster_.run([this](Node& n, sim::Task& t) { node_main(n, t); });
+    RunResult res;
+    res.stats = util::RunStats(cluster_.nnodes());
+    for (int i = 0; i < cluster_.nnodes(); ++i) {
+      res.stats.node[static_cast<std::size_t>(i)] =
+          nodes_[static_cast<std::size_t>(i)].snap;
+      res.stats.elapsed_ns =
+          std::max(res.stats.elapsed_ns,
+                   nodes_[static_cast<std::size_t>(i)].snap_time);
+    }
+    res.scalars = nodes_[0].scalars;
+    if (cfg_.gather_arrays) gather_into(res);
+    return res;
+  }
+
+ private:
+  Bindings bind0() const {
+    Bindings b = prog_.sizes;
+    // Overlay overrides (overrides win; Bindings::set replaces).
+    overlay(b, cfg_.size_overrides);
+    b.set(hpf::kSymNProcs, cluster_.nnodes());
+    b.set(hpf::kSymProc, 0);
+    return b;
+  }
+  static void overlay(Bindings& dst, const Bindings& src) {
+    for (const auto& [k, v] : src.values()) dst.set(k, v);
+  }
+
+  bool shmem() const {
+    return cfg_.opt.mode == Mode::kShmemUnopt ||
+           cfg_.opt.mode == Mode::kShmemOpt;
+  }
+
+  void node_main(Node& n, sim::Task& t) {
+    NodeRun& st = nodes_[static_cast<std::size_t>(n.id())];
+    st.node = &n;
+    st.task = &t;
+    st.bind = bind0();
+    st.bind.set(hpf::kSymProc, n.id());
+    exec_phases(prog_.phases, st);
+    n.barrier(t);
+    st.snap = n.stats;
+    st.snap_time = t.now();
+    if (cfg_.gather_arrays && shmem()) gather_owned(st);
+  }
+
+  void exec_phases(const std::vector<hpf::Phase>& phases, NodeRun& st) {
+    for (const auto& ph : phases) {
+      switch (ph.kind) {
+        case hpf::Phase::Kind::kParallelLoop:
+          exec_loop(*ph.loop, st);
+          break;
+        case hpf::Phase::Kind::kScalar:
+          exec_scalar(*ph.scalar, st);
+          break;
+        case hpf::Phase::Kind::kTimeLoop:
+          exec_time(*ph.time, st);
+          break;
+      }
+    }
+  }
+
+  void exec_scalar(const hpf::ScalarPhase& sp, NodeRun& st) {
+    ExecCtx ctx(st, layouts_, /*dist=*/0);
+    sp.body(ctx);
+    st.task->charge(static_cast<sim::Time>(sp.cost_ns));
+    st.node->stats.compute_ns += static_cast<sim::Time>(sp.cost_ns);
+  }
+
+  void exec_time(const hpf::TimeLoop& tl, NodeRun& st) {
+    const std::int64_t count = tl.count.eval(st.bind);
+    for (std::int64_t it = 0; it < count; ++it) {
+      st.bind.set(tl.counter, it);
+      exec_phases(tl.phases, st);
+      if (tl.exit_when) {
+        ExecCtx ctx(st, layouts_, 0);
+        if (tl.exit_when(ctx)) break;
+      }
+    }
+  }
+
+  // ---- The heart: one parallel loop under the configured mode ----
+  void exec_loop(const hpf::ParallelLoop& loop, NodeRun& st) {
+    Node& n = *st.node;
+    sim::Task& t = *st.task;
+    FGDSM_LOG("exec", "node " << n.id() << " loop " << loop.name << " t="
+                              << t.now());
+    const int np = cluster_.nnodes();
+    const ConcreteInterval iters =
+        hpf::local_iters(loop, prog_, st.bind, np, n.id());
+
+    if (cfg_.opt.mode == Mode::kSerial) {
+      run_chunks(loop, st, iters, /*checks=*/false,
+                 cluster_.costs().uni_cache_penalty);
+      finish_reduce_and_sync(loop, st, /*need_barrier=*/false);
+      bump_versions(loop, st);
+      return;
+    }
+
+    CommPlan plan;
+    if (cfg_.opt.mode == Mode::kShmemOpt || cfg_.opt.mode == Mode::kMsgPassing) {
+      auto transfers = hpf::analyze_transfers(loop, prog_, st.bind, np);
+      if (cfg_.opt.elim_redundant_comm)
+        transfers = filter_available(loop, st, std::move(transfers));
+      plan = core::plan_from_transfers(
+          transfers, layouts_, n.id(), cluster_.block_size(),
+          /*block_align=*/cfg_.opt.mode == Mode::kShmemOpt);
+    }
+
+    if (cfg_.opt.mode == Mode::kShmemOpt && plan.any_comm)
+      ccc_prologue(loop, plan, st);
+    if (cfg_.opt.mode == Mode::kMsgPassing && plan.any_comm)
+      mp_prologue(plan, st);
+
+    run_chunks(loop, st, iters, /*checks=*/shmem(), 1.0);
+
+    if (cfg_.opt.mode == Mode::kShmemOpt && plan.any_comm)
+      ccc_epilogue(loop, plan, st);
+    if (cfg_.opt.mode == Mode::kMsgPassing && plan.any_comm)
+      mp_epilogue(plan, st);
+
+    // End-of-loop synchronization: the reduction is itself synchronizing;
+    // otherwise a barrier separates this loop's writes from the next loop's
+    // reads. The MP backend self-synchronizes through its receives.
+    finish_reduce_and_sync(loop, st,
+                           cfg_.opt.mode != Mode::kMsgPassing);
+    bump_versions(loop, st);
+  }
+
+  void finish_reduce_and_sync(const hpf::ParallelLoop& loop, NodeRun& st,
+                              bool need_barrier) {
+    if (loop.has_reduce) {
+      tempest::Node::ReduceOp op = tempest::Node::ReduceOp::kSum;
+      if (loop.reduce_op == hpf::ReduceOp::kMax)
+        op = tempest::Node::ReduceOp::kMax;
+      if (loop.reduce_op == hpf::ReduceOp::kMin)
+        op = tempest::Node::ReduceOp::kMin;
+      st.scalars[loop.reduce_scalar] =
+          st.node->allreduce(*st.task, st.reduce_acc, op);
+      st.reduce_acc = 0.0;
+    } else if (need_barrier) {
+      st.node->barrier(*st.task);
+    }
+  }
+
+  void bump_versions(const hpf::ParallelLoop& loop, NodeRun& st) {
+    for (const auto& w : loop.writes) ++st.write_version[w.array];
+  }
+
+  std::vector<hpf::Transfer> filter_available(
+      const hpf::ParallelLoop& loop, NodeRun& st,
+      std::vector<hpf::Transfer> transfers) {
+    // Availability (PRE-style, §4.3's second problem): if this loop's
+    // transfer set is identical to the last one communicated here and none
+    // of the involved arrays has been written since, the data is still
+    // valid at the receivers (requires rt_overhead_elim: receivers keep
+    // their copies open).
+    auto it = st.avail.find(&loop);
+    bool skip = it != st.avail.end() &&
+                transfers_eq(it->second.transfers, transfers);
+    if (skip) {
+      for (const auto& tr : transfers) {
+        auto vit = it->second.versions.find(tr.array);
+        if (vit == it->second.versions.end() ||
+            vit->second != st.write_version[tr.array]) {
+          skip = false;
+          break;
+        }
+      }
+    }
+    if (skip) {
+      st.node->stats.ccc_calls_elided += transfers.size();
+      return {};
+    }
+    NodeRun::AvailEntry e;
+    e.transfers = transfers;
+    for (const auto& tr : transfers)
+      e.versions[tr.array] = st.write_version[tr.array];
+    st.avail[&loop] = std::move(e);
+    return transfers;
+  }
+
+  // ---- Compiler-directed coherence (Figure 2 call sequence) ----
+
+  void ccc_prologue(const hpf::ParallelLoop& loop, const CommPlan& plan,
+                    NodeRun& st) {
+    Node& n = *st.node;
+    sim::Task& t = *st.task;
+    proto::Stache& p = *stache_;
+    const std::size_t bs = cluster_.block_size();
+    const std::size_t payload =
+        cfg_.opt.bulk_transfer ? cfg_.opt.max_payload : bs;
+
+    // CCC calls happen only after pending transactions complete (§5).
+    sim::Time t0 = t.now();
+    p.drain(n, t);
+
+    if (!cfg_.opt.rt_overhead_elim) {
+      for (const Run& r : plan.mk_writable)
+        p.mk_writable(n, t, cluster_.block_of(r.addr),
+                      cluster_.block_of(r.addr + r.len - 1));
+      st.node->stats.ccc_ns += t.now() - t0;
+      n.barrier(t);
+      t0 = t.now();
+    }
+
+    // implicit_writable — first-time-only under rt overhead elimination.
+    bool open_needed = !plan.recv.empty();
+    if (cfg_.opt.rt_overhead_elim) {
+      auto it = st.opened.find(&loop);
+      if (it != st.opened.end() && it->second == plan.recv) {
+        open_needed = false;
+        t.charge(cluster_.costs().ccc_test_only_cost);
+        ++n.stats.ccc_calls_elided;
+      } else {
+        st.opened[&loop] = plan.recv;
+      }
+    }
+    if (open_needed)
+      for (const Run& r : plan.recv)
+        p.implicit_writable(n, t, cluster_.block_of(r.addr),
+                            cluster_.block_of(r.addr + r.len - 1));
+    st.node->stats.ccc_ns += t.now() - t0;
+
+    n.barrier(t);
+
+    t0 = t.now();
+    for (const auto& s : plan.sends)
+      p.send_blocks(n, t, s.run.addr, s.run.len, {s.dst}, payload);
+    p.ready_to_recv(n, t, plan.expected_pre);
+    st.node->stats.ccc_ns += t.now() - t0;
+
+    // Non-owner writes add a post-loop flush phase that posts the same
+    // counting semaphore; a fast writer's flush must not satisfy a slow
+    // node's pre-loop wait (and the late pre-loop data would then overwrite
+    // its freshly computed values). One barrier separates the phases —
+    // any_flush is a global decision, so every node agrees.
+    if (plan.any_flush) n.barrier(t);
+  }
+
+  void ccc_epilogue(const hpf::ParallelLoop& loop, const CommPlan& plan,
+                    NodeRun& st) {
+    Node& n = *st.node;
+    sim::Task& t = *st.task;
+    proto::Stache& p = *stache_;
+    const std::size_t bs = cluster_.block_size();
+    const std::size_t payload =
+        cfg_.opt.bulk_transfer ? cfg_.opt.max_payload : bs;
+
+    const sim::Time t0 = t.now();
+    // Non-owner writes return to the owner.
+    for (const auto& f : plan.flushes)
+      p.ccc_flush(n, t, f.run.addr, f.run.len, f.owner, payload);
+    if (plan.expected_post > 0) p.ready_to_recv(n, t, plan.expected_post);
+
+    if (!cfg_.opt.rt_overhead_elim) {
+      for (const Run& r : plan.recv)
+        p.implicit_invalidate(n, t, cluster_.block_of(r.addr),
+                              cluster_.block_of(r.addr + r.len - 1));
+      // Clear the first-time registry consistency: not needed (registry is
+      // only consulted under rt_overhead_elim).
+    }
+    st.node->stats.ccc_ns += t.now() - t0;
+    (void)loop;
+    (void)bs;
+  }
+
+  // ---- Message-passing backend ----
+
+  void mp_prologue(const CommPlan& plan, NodeRun& st) {
+    Node& n = *st.node;
+    sim::Task& t = *st.task;
+    const sim::Time t0 = t.now();
+    mp_->advance_epoch(n, t);
+    for (const auto& s : plan.sends)
+      mp_->send(n, t, s.run.addr, s.run.len, s.dst,
+                cluster_.costs().mp_max_payload);
+    mp_->recv(n, t, plan.expected_pre);
+    n.stats.ccc_ns += t.now() - t0;  // "communication time" bucket
+  }
+
+  void mp_epilogue(const CommPlan& plan, NodeRun& st) {
+    Node& n = *st.node;
+    sim::Task& t = *st.task;
+    // The flush phase gets its own epoch whenever ANY node flushes —
+    // any_flush is a global decision (derived from the same transfer list
+    // on every node), so epoch counters stay aligned cluster-wide.
+    if (plan.any_flush) {
+      const sim::Time t0 = t.now();
+      mp_->advance_epoch(n, t);
+      for (const auto& f : plan.flushes)
+        mp_->send(n, t, f.run.addr, f.run.len, f.owner,
+                  cluster_.costs().mp_max_payload);
+      mp_->recv(n, t, plan.expected_post);
+      n.stats.ccc_ns += t.now() - t0;
+    }
+  }
+
+  // ---- Chunk execution ----
+
+  void run_chunks(const hpf::ParallelLoop& loop, NodeRun& st,
+                  const ConcreteInterval& iters, bool checks,
+                  double cost_factor) {
+    Node& n = *st.node;
+    sim::Task& t = *st.task;
+    if (iters.empty()) return;
+    const auto ext_cache = extents_cache(loop);
+    for (std::int64_t j = iters.lo; j <= iters.hi; j += iters.stride) {
+      std::vector<Node::Extent> write_runs;
+      if (checks) {
+        // Validate the whole chunk footprint atomically (a block validated
+        // early must not be revoked while a later range's fault stalls).
+        // Replicated arrays are per-node private storage: no access control.
+        std::vector<Node::Extent> read_runs;
+        for (const auto& ref : loop.reads) {
+          if (replicated(ref.array)) continue;
+          for (const Run& r : footprint_runs(loop, ref, st, j, ext_cache))
+            read_runs.push_back(Node::Extent{r.addr, r.len});
+        }
+        for (const auto& ref : loop.writes) {
+          if (replicated(ref.array)) continue;
+          for (const Run& r : footprint_runs(loop, ref, st, j, ext_cache))
+            write_runs.push_back(Node::Extent{r.addr, r.len});
+        }
+        n.ensure_chunk(t, read_runs, write_runs);
+      }
+      ExecCtx ctx(st, layouts_, j);
+      if (loop.body) loop.body(ctx);
+      if (checks) {
+        for (const auto& e : write_runs) n.note_writes(e.addr, e.len);
+      }
+      const double inner = inner_count(loop, st, j);
+      const sim::Time cost = static_cast<sim::Time>(
+          loop.cost_per_iter_ns * inner * cost_factor);
+      t.charge(cost);
+      n.stats.compute_ns += cost;
+    }
+  }
+
+  bool replicated(const std::string& array) const {
+    return prog_.array(array).dist == hpf::DistKind::kReplicated;
+  }
+
+  std::map<std::string, std::vector<std::int64_t>> extents_cache(
+      const hpf::ParallelLoop& loop) {
+    std::map<std::string, std::vector<std::int64_t>> m;
+    auto add = [&](const hpf::ArrayRef& r) {
+      if (!m.count(r.array))
+        m[r.array] = layouts_.at(r.array).extents;
+    };
+    for (const auto& r : loop.reads) add(r);
+    for (const auto& w : loop.writes) add(w);
+    return m;
+  }
+
+  std::vector<Run> footprint_runs(
+      const hpf::ParallelLoop& loop, const hpf::ArrayRef& ref, NodeRun& st,
+      std::int64_t j,
+      const std::map<std::string, std::vector<std::int64_t>>& ext) {
+    ConcreteSection s = hpf::chunk_footprint(loop, ref, prog_, st.bind, j);
+    const auto& e = ext.at(ref.array);
+    for (std::size_t d = 0; d < s.dims.size(); ++d)
+      s.dims[d] = hpf::intersect(
+          s.dims[d], ConcreteInterval{0, e[d] - 1, 1});
+    if (s.empty()) return {};
+    return hpf::linearize(layouts_.at(ref.array), s);
+  }
+
+  double inner_count(const hpf::ParallelLoop& loop, NodeRun& st,
+                     std::int64_t j) {
+    if (loop.free.empty()) return 1.0;
+    Bindings b = st.bind;
+    b.set(loop.dist.sym, j);
+    double c = 1.0;
+    for (const auto& fv : loop.free) {
+      const std::int64_t lo = fv.lo.eval(b);
+      const std::int64_t hi = fv.hi.eval(b);
+      c *= static_cast<double>(hi >= lo ? hi - lo + 1 : 0);
+    }
+    return c;
+  }
+
+  // ---- Result gathering ----
+
+  // In shared-memory modes, a node's copy of a lost boundary block can be
+  // stale even for its *owned* words; ensure_readable forces a fetch of the
+  // merged data before the host composes the result from owners.
+  void gather_owned(NodeRun& st) {
+    for (const auto& a : prog_.arrays) {
+      const ConcreteSection owned = hpf::owned_section(
+          a, st.bind, cluster_.nnodes(), st.node->id());
+      for (const Run& r : hpf::linearize(layouts_.at(a.name), owned))
+        st.node->ensure_readable(*st.task, r.addr, r.len);
+    }
+  }
+
+  void gather_into(RunResult& res) {
+    for (const auto& a : prog_.arrays) {
+      const hpf::ArrayLayout& lay = layouts_.at(a.name);
+      std::vector<double>& out = res.arrays[a.name];
+      out.assign(static_cast<std::size_t>(lay.elements()), 0.0);
+      const int np = cluster_.nnodes();
+      const int copies = a.dist == hpf::DistKind::kReplicated ? 1 : np;
+      for (int p = 0; p < copies; ++p) {
+        const ConcreteSection owned =
+            hpf::owned_section(a, nodes_[static_cast<std::size_t>(p)].bind,
+                               np, p);
+        for (const Run& r : hpf::linearize(lay, owned)) {
+          const std::size_t elem0 =
+              static_cast<std::size_t>((r.addr - lay.base) / 8);
+          std::memcpy(out.data() + elem0, cluster_.node(p).mem(r.addr),
+                      r.len);
+        }
+      }
+    }
+  }
+
+  const hpf::Program& prog_;
+  RunConfig cfg_;
+  tempest::Cluster cluster_;
+  std::unique_ptr<proto::Stache> stache_;
+  std::unique_ptr<mp::MpRuntime> mp_;
+  core::LayoutMap layouts_;
+  Bindings base_bind_;
+  std::vector<NodeRun> nodes_;
+};
+
+}  // namespace
+
+RunResult run(const hpf::Program& prog, RunConfig cfg) {
+  Executor ex(prog, cfg);
+  return ex.execute();
+}
+
+}  // namespace fgdsm::exec

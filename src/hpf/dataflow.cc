@@ -1,0 +1,130 @@
+#include "src/hpf/dataflow.h"
+
+#include <functional>
+
+#include "src/util/assert.h"
+
+namespace fgdsm::hpf {
+
+namespace {
+
+// Does any bound or subscript of `loop` reference `sym`? (If a section
+// depends on the enclosing time counter — LU's shrinking pivot column — its
+// communication is different every iteration and can never be hoisted.)
+bool loop_references(const ParallelLoop& loop, const std::string& sym) {
+  auto expr_refs = [&](const AffineExpr& e) { return e.references(sym); };
+  if (expr_refs(loop.dist.lo) || expr_refs(loop.dist.hi)) return true;
+  for (const auto& fv : loop.free)
+    if (expr_refs(fv.lo) || expr_refs(fv.hi)) return true;
+  for (const auto& refs : {loop.reads, loop.writes})
+    for (const auto& r : refs)
+      for (const auto& s : r.subs)
+        if (expr_refs(s)) return true;
+  if (expr_refs(loop.home_sub)) return true;
+  return false;
+}
+
+struct Walker {
+  const Program& prog;
+  RedundancyReport report;
+
+  // Stack of enclosing time-loop counters (innermost last).
+  std::vector<const TimeLoop*> cycles;
+
+  // For the innermost enclosing cycle: which arrays are written by any
+  // phase of the cycle body, and by which loop (computed per TimeLoop).
+  std::map<const TimeLoop*, std::map<std::string, std::string>>
+      cycle_writers;
+
+  void collect_writers(const TimeLoop& tl) {
+    auto& writers = cycle_writers[&tl];
+    std::function<void(const std::vector<Phase>&)> rec =
+        [&](const std::vector<Phase>& phases) {
+          for (const auto& ph : phases) {
+            switch (ph.kind) {
+              case Phase::Kind::kParallelLoop:
+                for (const auto& w : ph.loop->writes)
+                  writers.emplace(w.array, ph.loop->name);
+                break;
+              case Phase::Kind::kTimeLoop:
+                rec(ph.time->phases);
+                break;
+              case Phase::Kind::kScalar:
+                break;
+            }
+          }
+        };
+    rec(tl.phases);
+  }
+
+  void visit(const std::vector<Phase>& phases) {
+    for (const auto& ph : phases) {
+      switch (ph.kind) {
+        case Phase::Kind::kParallelLoop:
+          visit_loop(*ph.loop);
+          break;
+        case Phase::Kind::kTimeLoop:
+          collect_writers(*ph.time);
+          cycles.push_back(ph.time.get());
+          visit(ph.time->phases);
+          cycles.pop_back();
+          break;
+        case Phase::Kind::kScalar:
+          break;
+      }
+    }
+  }
+
+  void visit_loop(const ParallelLoop& loop) {
+    // One fact per distinct read array that could imply communication.
+    std::set<std::string> seen;
+    for (const auto& r : loop.reads) {
+      if (!seen.insert(r.array).second) continue;
+      const ArrayDecl& a = prog.array(r.array);
+      if (a.dist == DistKind::kReplicated) continue;
+
+      CommFact fact;
+      fact.loop = &loop;
+      fact.array = r.array;
+      if (cycles.empty()) {
+        // Straight-line phase: executes once; trivially first-only.
+        fact.kind = CommFact::Kind::kFirstOnly;
+      } else {
+        const TimeLoop* cyc = cycles.back();
+        const auto& writers = cycle_writers.at(cyc);
+        auto wit = writers.find(r.array);
+        const bool counter_dep = loop_references(loop, cyc->counter);
+        if (wit != writers.end()) {
+          fact.kind = CommFact::Kind::kEveryTime;
+          fact.killed_by = wit->second;
+        } else if (counter_dep) {
+          fact.kind = CommFact::Kind::kEveryTime;
+          fact.killed_by = "<section depends on " + cyc->counter + ">";
+        } else {
+          fact.kind = CommFact::Kind::kFirstOnly;
+        }
+      }
+      report.comm.push_back(std::move(fact));
+
+      // Permission fact (§4.3): the receiver must re-open its blocks on
+      // every execution only if the section moves (counter dependence);
+      // otherwise the first-time-only test suffices.
+      PermissionFact perm;
+      perm.loop = &loop;
+      perm.array = r.array;
+      perm.reopen_needed_every_time =
+          !cycles.empty() && loop_references(loop, cycles.back()->counter);
+      report.permissions.push_back(std::move(perm));
+    }
+  }
+};
+
+}  // namespace
+
+RedundancyReport analyze_redundancy(const Program& prog) {
+  Walker w{prog, {}, {}, {}};
+  w.visit(prog.phases);
+  return w.report;
+}
+
+}  // namespace fgdsm::hpf

@@ -1,0 +1,77 @@
+// Compile-time redundancy analysis over the phase graph — the PRE-style
+// framework the paper sketches in §4.3 and names as future work in §7
+// ("we intend to incorporate PRE based analysis to systematically reduce
+// overheads"), cast over this compiler's program structure:
+//
+//  - **Communication availability** (the paper's "second problem", after
+//    [12,14,18]): a loop's non-owner read of array A need not be
+//    re-communicated if, on every path from the previous communication of
+//    the same section, nothing wrote A. In a time-step loop this reduces to:
+//    is A written anywhere in the cycle, and does the section depend on the
+//    loop counter?
+//  - **Permission availability** (the paper's "first problem", the placement
+//    of mk_writable/implicit_invalidate): which loops are guaranteed by a
+//    dominating loop to find their blocks already writable/opened.
+//
+// The executor's run-time scheme (Options::rt_overhead_elim /
+// elim_redundant_comm) discovers the same facts dynamically; this module is
+// the static counterpart, used by tooling (examples/hpf_compile) and tested
+// against the run-time scheme's observed behaviour.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/hpf/ir.h"
+
+namespace fgdsm::hpf {
+
+struct CommFact {
+  const ParallelLoop* loop = nullptr;
+  std::string array;
+
+  enum class Kind {
+    // The transfer must run on every execution of the loop (the array is
+    // re-written between executions, or the section moves with the time
+    // counter).
+    kEveryTime,
+    // Loop-invariant: the transfer can be hoisted / performed only on the
+    // first execution (nothing writes the array inside the enclosing cycle
+    // and the section is counter-independent).
+    kFirstOnly,
+  } kind = Kind::kEveryTime;
+
+  // Why (for diagnostics): name of the killing writer loop, or empty.
+  std::string killed_by;
+};
+
+struct PermissionFact {
+  const ParallelLoop* loop = nullptr;
+  std::string array;
+  // True if a previous execution of the *same* loop (same ranges) is
+  // guaranteed to have left the receiver's blocks open, so
+  // implicit_writable can use the test-only fast path after the first
+  // execution (§4.3).
+  bool reopen_needed_every_time = false;
+};
+
+struct RedundancyReport {
+  std::vector<CommFact> comm;
+  std::vector<PermissionFact> permissions;
+
+  const CommFact* find(const ParallelLoop* loop,
+                       const std::string& array) const {
+    for (const auto& f : comm)
+      if (f.loop == loop && f.array == array) return &f;
+    return nullptr;
+  }
+};
+
+// Analyze the whole program. Facts are reported for every (parallel loop,
+// distributed array read) pair whose references are non-owner-analyzable;
+// arrays only written or replicated produce no facts.
+RedundancyReport analyze_redundancy(const Program& prog);
+
+}  // namespace fgdsm::hpf

@@ -1,0 +1,63 @@
+// HPF data distributions. Following the paper's simplifying assumption
+// (§4.1): "only the last dimension of a global array is distributed (either
+// blockwise or cyclically) on a linear arrangement of processors."
+#pragma once
+
+#include <cstdint>
+
+#include "src/hpf/section.h"
+#include "src/util/assert.h"
+
+namespace fgdsm::hpf {
+
+enum class DistKind : std::uint8_t {
+  kBlock,       // (*,...,BLOCK)
+  kCyclic,      // (*,...,CYCLIC)
+  kReplicated,  // no distribution: every processor owns a full copy
+};
+
+inline const char* to_string(DistKind k) {
+  switch (k) {
+    case DistKind::kBlock: return "BLOCK";
+    case DistKind::kCyclic: return "CYCLIC";
+    case DistKind::kReplicated: return "REPLICATED";
+  }
+  return "?";
+}
+
+// Owner of last-dimension index j (0-based) for an extent-n dimension over
+// np processors.
+inline int owner_of(DistKind kind, std::int64_t j, std::int64_t n, int np) {
+  FGDSM_DCHECK(j >= 0 && j < n);
+  switch (kind) {
+    case DistKind::kBlock: {
+      const std::int64_t bsz = (n + np - 1) / np;
+      return static_cast<int>(j / bsz);
+    }
+    case DistKind::kCyclic:
+      return static_cast<int>(j % np);
+    case DistKind::kReplicated:
+      return -1;  // everyone
+  }
+  return -1;
+}
+
+// The last-dimension indices processor p owns.
+inline ConcreteInterval owned_interval(DistKind kind, int p, std::int64_t n,
+                                       int np) {
+  switch (kind) {
+    case DistKind::kBlock: {
+      const std::int64_t bsz = (n + np - 1) / np;
+      const std::int64_t lo = p * bsz;
+      const std::int64_t hi = std::min(n, (p + 1) * bsz) - 1;
+      return ConcreteInterval{lo, hi, 1}.normalized();
+    }
+    case DistKind::kCyclic:
+      return ConcreteInterval{p, n - 1, np}.normalized();
+    case DistKind::kReplicated:
+      return ConcreteInterval{0, n - 1, 1}.normalized();
+  }
+  return {0, -1, 1};
+}
+
+}  // namespace fgdsm::hpf

@@ -1,0 +1,66 @@
+// Abstract syntax for the mini-HPF dialect. The parser produces this; the
+// lowering pass (lower.h) turns it into an hpf::Program — computing the read
+// and write reference sets with affine subscripts for the communication
+// analysis, and building an interpreted loop body for execution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fgdsm::hpf::frontend {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kNumber, kVar, kArrayRef, kBinOp, kNeg };
+  Kind kind = Kind::kNumber;
+  double number = 0;          // kNumber
+  std::string name;           // kVar (loop index / parameter) or kArrayRef
+  std::vector<ExprPtr> subs;  // kArrayRef subscripts
+  char op = '+';              // kBinOp: + - * /
+  ExprPtr lhs, rhs;           // kBinOp (lhs only for kNeg)
+  int line = 0;
+};
+
+struct Assign {
+  ExprPtr lhs;  // must be kArrayRef
+  ExprPtr rhs;
+  int line = 0;
+};
+
+// A DO-loop nest annotated INDEPENDENT (one per directive). Loops are
+// recorded outermost-first.
+struct LoopNest {
+  struct Level {
+    std::string var;
+    ExprPtr lo;
+    ExprPtr hi;
+  };
+  std::vector<Level> levels;
+  std::vector<Assign> body;
+  // ON HOME (array(..., <var>)) — names the home array and which loop
+  // variable indexes its last dimension.
+  std::string home_array;
+  std::string home_var;
+  int line = 0;
+};
+
+struct ArrayDeclAst {
+  std::string name;
+  std::vector<ExprPtr> extents;  // in source (Fortran) order
+  // Distribution of the last dimension: "block", "cyclic" or "" (none ->
+  // replicated).
+  std::string dist;
+  int line = 0;
+};
+
+struct ProgramAst {
+  std::string name;
+  std::vector<std::pair<std::string, double>> parameters;  // PARAMETER (...)
+  std::vector<ArrayDeclAst> arrays;
+  std::vector<LoopNest> loops;
+};
+
+}  // namespace fgdsm::hpf::frontend

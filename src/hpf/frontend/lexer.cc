@@ -1,0 +1,98 @@
+#include "src/hpf/frontend/lexer.h"
+
+#include <cctype>
+
+namespace fgdsm::hpf::frontend {
+
+namespace {
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$'; }
+bool ident_char(char c) { return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)); }
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  auto push = [&](Tok k, std::string text = "") {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      // Collapse repeated newlines.
+      if (!out.empty() && out.back().kind != Tok::kNewline)
+        push(Tok::kNewline);
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '!') {
+      // '!HPF$' introduces a directive; any other '!' is a comment.
+      if (src.compare(i, 5, "!HPF$") == 0 || src.compare(i, 5, "!hpf$") == 0) {
+        push(Tok::kHpfDirective);
+        i += 5;
+        continue;
+      }
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::string s;
+      while (i < src.size() && ident_char(src[i]))
+        s += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(src[i++])));
+      push(Tok::kIdent, std::move(s));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::string s;
+      bool is_int = true;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i])) ||
+              src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+              ((src[i] == '+' || src[i] == '-') && !s.empty() &&
+               (s.back() == 'e' || s.back() == 'E')))) {
+        if (src[i] == '.' || src[i] == 'e' || src[i] == 'E') is_int = false;
+        s += src[i++];
+      }
+      Token t;
+      t.kind = Tok::kNumber;
+      t.text = s;
+      t.number = std::stod(s);
+      t.is_integer = is_int;
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case ',': push(Tok::kComma); break;
+      case ':': push(Tok::kColon); break;
+      case '=': push(Tok::kAssign); break;
+      case '+': push(Tok::kPlus); break;
+      case '-': push(Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      default:
+        throw ParseError(line, std::string("unexpected character '") + c +
+                                   "'");
+    }
+    ++i;
+  }
+  push(Tok::kNewline);
+  push(Tok::kEof);
+  return out;
+}
+
+}  // namespace fgdsm::hpf::frontend

@@ -1,0 +1,50 @@
+// Lexer for the mini-HPF dialect: a Fortran-like surface language with the
+// HPF directives the paper's compiler consumes (!HPF$ PROCESSORS,
+// DISTRIBUTE, INDEPENDENT, ON HOME). Line-oriented, case-insensitive
+// keywords, '!' comments (except '!HPF$', which begins a directive).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fgdsm::hpf::frontend {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kNewline,
+  kIdent,      // identifiers / keywords (normalized to lower case)
+  kNumber,     // integer or real literal
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kAssign,     // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kHpfDirective,  // '!HPF$' sentinel; directive words follow as idents
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;   // identifier (lower-cased) or literal text
+  double number = 0;  // valid for kNumber
+  bool is_integer = false;
+  int line = 0;
+};
+
+// Thrown on any malformed program text.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line(line) {}
+  int line;
+};
+
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace fgdsm::hpf::frontend

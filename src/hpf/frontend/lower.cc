@@ -1,0 +1,239 @@
+#include "src/hpf/frontend/lower.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/hpf/frontend/parser.h"
+#include "src/util/assert.h"
+
+namespace fgdsm::hpf::frontend {
+
+namespace {
+
+// ---- AST expression -> AffineExpr (for bounds and subscripts) ----
+AffineExpr to_affine(const ExprPtr& e) {
+  switch (e->kind) {
+    case Expr::Kind::kNumber: {
+      const double r = std::round(e->number);
+      if (r != e->number)
+        throw ParseError(e->line, "expected an integer expression");
+      return AffineExpr(static_cast<std::int64_t>(r));
+    }
+    case Expr::Kind::kVar:
+      return AffineExpr::sym(e->name);
+    case Expr::Kind::kNeg:
+      return to_affine(e->lhs) * -1;
+    case Expr::Kind::kBinOp: {
+      switch (e->op) {
+        case '+': return to_affine(e->lhs) + to_affine(e->rhs);
+        case '-': return to_affine(e->lhs) - to_affine(e->rhs);
+        case '*': {
+          const AffineExpr a = to_affine(e->lhs);
+          const AffineExpr b = to_affine(e->rhs);
+          if (a.is_constant()) return b * a.constant();
+          if (b.is_constant()) return a * b.constant();
+          throw ParseError(e->line, "non-affine product in index expression");
+        }
+        default:
+          throw ParseError(e->line,
+                           "division is not affine in index expressions");
+      }
+    }
+    case Expr::Kind::kArrayRef:
+      throw ParseError(e->line, "array reference in index expression");
+  }
+  throw ParseError(e->line, "bad expression");
+}
+
+// ---- collect array references ----
+void collect_refs(const ExprPtr& e, std::vector<hpf::ArrayRef>& out) {
+  switch (e->kind) {
+    case Expr::Kind::kArrayRef: {
+      hpf::ArrayRef r;
+      r.array = e->name;
+      for (const auto& s : e->subs)
+        r.subs.push_back(to_affine(s) - 1);  // Fortran 1-based -> 0-based
+      // Deduplicate exact repeats.
+      for (const auto& existing : out)
+        if (existing.array == r.array && existing.subs == r.subs) return;
+      out.push_back(std::move(r));
+      for (const auto& s : e->subs) collect_refs(s, out);
+      return;
+    }
+    case Expr::Kind::kBinOp:
+      collect_refs(e->lhs, out);
+      collect_refs(e->rhs, out);
+      return;
+    case Expr::Kind::kNeg:
+      collect_refs(e->lhs, out);
+      return;
+    default:
+      return;
+  }
+}
+
+// ---- interpreter ----
+struct Env {
+  std::map<std::string, std::int64_t> loop_vars;
+  hpf::BodyCtx* ctx = nullptr;
+};
+
+double eval_expr(const Expr& e, Env& env);
+
+std::int64_t eval_index(const Expr& e, Env& env) {
+  const double v = eval_expr(e, env);
+  const double r = std::round(v);
+  FGDSM_ASSERT_MSG(std::abs(v - r) < 1e-9, "non-integer subscript");
+  return static_cast<std::int64_t>(r);
+}
+
+double* element(const Expr& ref, Env& env) {
+  FGDSM_DCHECK(ref.kind == Expr::Kind::kArrayRef);
+  const hpf::ArrayLayout& lay = env.ctx->layout(ref.name);
+  std::vector<std::int64_t> idx;
+  idx.reserve(ref.subs.size());
+  for (const auto& s : ref.subs)
+    idx.push_back(eval_index(*s, env) - 1);  // 1-based -> 0-based
+  return env.ctx->data(ref.name) + lay.linear(idx);
+}
+
+double eval_expr(const Expr& e, Env& env) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      return e.number;
+    case Expr::Kind::kVar: {
+      auto it = env.loop_vars.find(e.name);
+      if (it != env.loop_vars.end()) return static_cast<double>(it->second);
+      return static_cast<double>(env.ctx->sym(e.name));
+    }
+    case Expr::Kind::kNeg:
+      return -eval_expr(*e.lhs, env);
+    case Expr::Kind::kBinOp: {
+      const double a = eval_expr(*e.lhs, env);
+      const double b = eval_expr(*e.rhs, env);
+      switch (e.op) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/': return a / b;
+      }
+      return 0;
+    }
+    case Expr::Kind::kArrayRef:
+      return *element(e, env);
+  }
+  return 0;
+}
+
+// Recursively run the free loop levels, innermost executing the statements.
+void run_levels(const std::vector<LoopNest::Level>& levels, std::size_t i,
+                const std::vector<Assign>& body, Env& env) {
+  if (i == levels.size()) {
+    for (const Assign& a : body) *element(*a.lhs, env) = eval_expr(*a.rhs, env);
+    return;
+  }
+  const std::int64_t lo = eval_index(*levels[i].lo, env);
+  const std::int64_t hi = eval_index(*levels[i].hi, env);
+  for (std::int64_t v = lo; v <= hi; ++v) {
+    env.loop_vars[levels[i].var] = v;
+    run_levels(levels, i + 1, body, env);
+  }
+}
+
+}  // namespace
+
+hpf::Program lower(const ProgramAst& ast) {
+  hpf::Program prog;
+  prog.name = ast.name;
+
+  // Parameters: integers become size symbols (usable in bounds/extents);
+  // all parameters are also bound for the interpreter.
+  for (const auto& [name, value] : ast.parameters) {
+    const double r = std::round(value);
+    if (r == value)
+      prog.sizes.set(name, static_cast<std::int64_t>(r));
+    else
+      throw ParseError(0, "non-integer PARAMETER '" + name +
+                              "' is not supported");
+  }
+
+  for (const auto& a : ast.arrays) {
+    hpf::ArrayDecl d;
+    d.name = a.name;
+    for (const auto& e : a.extents) d.extents.push_back(to_affine(e));
+    d.dist = a.dist == "block"    ? hpf::DistKind::kBlock
+             : a.dist == "cyclic" ? hpf::DistKind::kCyclic
+                                  : hpf::DistKind::kReplicated;
+    prog.arrays.push_back(std::move(d));
+  }
+
+  for (const auto& nest : ast.loops) {
+    if (nest.levels.empty())
+      throw ParseError(nest.line, "INDEPENDENT without a DO loop");
+    hpf::ParallelLoop loop;
+    loop.name = prog.name + "-loop@" + std::to_string(nest.line);
+
+    // Which level is the distributed one?
+    std::size_t dist_level = 0;
+    if (!nest.home_var.empty()) {
+      bool found = false;
+      for (std::size_t i = 0; i < nest.levels.size(); ++i)
+        if (nest.levels[i].var == nest.home_var) {
+          dist_level = i;
+          found = true;
+        }
+      if (!found)
+        throw ParseError(nest.line, "ON HOME variable '" + nest.home_var +
+                                        "' is not a loop index");
+    }
+    const LoopNest::Level& dl = nest.levels[dist_level];
+    loop.dist = hpf::LoopVar{dl.var, to_affine(dl.lo), to_affine(dl.hi)};
+    std::vector<LoopNest::Level> free_levels;
+    for (std::size_t i = 0; i < nest.levels.size(); ++i) {
+      if (i == dist_level) continue;
+      loop.free.push_back(hpf::LoopVar{nest.levels[i].var,
+                                       to_affine(nest.levels[i].lo),
+                                       to_affine(nest.levels[i].hi)});
+      free_levels.push_back(nest.levels[i]);
+    }
+
+    // Computation distribution: ON HOME names the home array; otherwise
+    // owner-computes on the first statement's left-hand side.
+    if (!nest.home_array.empty()) {
+      loop.home_array = nest.home_array;
+    } else if (!nest.body.empty()) {
+      loop.home_array = nest.body.front().lhs->name;
+    } else {
+      throw ParseError(nest.line, "empty INDEPENDENT loop");
+    }
+    loop.home_sub = AffineExpr::sym(loop.dist.sym) - 1;  // 0-based
+
+    for (const Assign& a : nest.body) {
+      collect_refs(a.lhs, loop.writes);
+      // The LHS subscripts themselves are reads.
+      for (const auto& s : a.lhs->subs) collect_refs(s, loop.reads);
+      collect_refs(a.rhs, loop.reads);
+    }
+    loop.cost_per_iter_ns = 60.0 * static_cast<double>(nest.body.size());
+
+    // Interpreted body: fix the dist variable, run the free levels.
+    const std::string dist_var = dl.var;
+    const auto body = nest.body;
+    loop.body = [dist_var, free_levels, body](hpf::BodyCtx& c) {
+      Env env;
+      env.ctx = &c;
+      env.loop_vars[dist_var] = c.dist();
+      std::vector<LoopNest::Level> lv = free_levels;
+      run_levels(lv, 0, body, env);
+    };
+    prog.phases.push_back(hpf::Phase::make(std::move(loop)));
+  }
+  return prog;
+}
+
+hpf::Program compile(const std::string& source) {
+  return lower(parse(source));
+}
+
+}  // namespace fgdsm::hpf::frontend

@@ -1,0 +1,24 @@
+// Lowering: mini-HPF AST -> hpf::Program.
+//
+// This is the front half of the paper's compiler pipeline: array
+// declarations plus DISTRIBUTE directives fix the owner relation; each
+// INDEPENDENT nest becomes a ParallelLoop whose read/write reference lists
+// (affine subscripts, 1-based Fortran indexing shifted to 0-based) feed the
+// communication analysis. The loop body is lowered to an interpreted
+// closure, so parsed programs execute — slower than the hand-written
+// applications, but through exactly the same executor and protocol.
+#pragma once
+
+#include "src/hpf/frontend/ast.h"
+#include "src/hpf/ir.h"
+
+namespace fgdsm::hpf::frontend {
+
+// Throws ParseError on semantic violations (unknown names, non-affine
+// subscripts, distributed non-last dimensions).
+hpf::Program lower(const ProgramAst& ast);
+
+// Convenience: parse + lower.
+hpf::Program compile(const std::string& source);
+
+}  // namespace fgdsm::hpf::frontend

@@ -1,0 +1,298 @@
+#include "src/hpf/frontend/parser.h"
+
+#include <memory>
+
+namespace fgdsm::hpf::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  ProgramAst parse_program() {
+    ProgramAst prog;
+    skip_newlines();
+    expect_keyword("program");
+    prog.name = expect(Tok::kIdent).text;
+    expect(Tok::kNewline);
+    for (;;) {
+      skip_newlines();
+      const Token& t = peek();
+      if (t.kind == Tok::kEof)
+        throw ParseError(t.line, "missing END");
+      if (t.kind == Tok::kIdent && t.text == "end") {
+        next();
+        break;
+      }
+      if (t.kind == Tok::kIdent && t.text == "parameter") {
+        parse_parameters(prog);
+      } else if (t.kind == Tok::kIdent && t.text == "real") {
+        parse_real_decl(prog);
+      } else if (t.kind == Tok::kHpfDirective) {
+        parse_directive(prog);
+      } else {
+        throw ParseError(t.line, "expected declaration, directive or END, "
+                                 "got '" + t.text + "'");
+      }
+    }
+    return prog;
+  }
+
+ private:
+  // ---- token plumbing ----
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& next() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  const Token& expect(Tok k) {
+    const Token& t = next();
+    if (t.kind != k)
+      throw ParseError(t.line, "unexpected token '" + t.text + "'");
+    return t;
+  }
+  void expect_keyword(const std::string& kw) {
+    const Token& t = next();
+    if (t.kind != Tok::kIdent || t.text != kw)
+      throw ParseError(t.line, "expected '" + kw + "', got '" + t.text + "'");
+  }
+  bool accept_keyword(const std::string& kw) {
+    if (peek().kind == Tok::kIdent && peek().text == kw) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  bool accept(Tok k) {
+    if (peek().kind == k) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  void skip_newlines() {
+    while (peek().kind == Tok::kNewline) next();
+  }
+
+  // ---- declarations ----
+  void parse_parameters(ProgramAst& prog) {
+    expect_keyword("parameter");
+    expect(Tok::kLParen);
+    do {
+      const std::string name = expect(Tok::kIdent).text;
+      expect(Tok::kAssign);
+      bool negative = accept(Tok::kMinus);
+      const Token& v = expect(Tok::kNumber);
+      prog.parameters.emplace_back(name,
+                                   negative ? -v.number : v.number);
+    } while (accept(Tok::kComma));
+    expect(Tok::kRParen);
+    expect(Tok::kNewline);
+  }
+
+  void parse_real_decl(ProgramAst& prog) {
+    expect_keyword("real");
+    do {
+      ArrayDeclAst a;
+      a.line = peek().line;
+      a.name = expect(Tok::kIdent).text;
+      expect(Tok::kLParen);
+      do {
+        a.extents.push_back(parse_expr());
+      } while (accept(Tok::kComma));
+      expect(Tok::kRParen);
+      prog.arrays.push_back(std::move(a));
+    } while (accept(Tok::kComma));
+    expect(Tok::kNewline);
+  }
+
+  // ---- directives ----
+  void parse_directive(ProgramAst& prog) {
+    expect(Tok::kHpfDirective);
+    const Token& t = next();
+    if (t.kind != Tok::kIdent)
+      throw ParseError(t.line, "expected directive keyword after !HPF$");
+    if (t.text == "processors") {
+      // PROCESSORS P(*) — accepted and recorded nowhere: the arrangement is
+      // the one-dimensional cluster.
+      while (peek().kind != Tok::kNewline && peek().kind != Tok::kEof) next();
+      expect(Tok::kNewline);
+    } else if (t.text == "distribute") {
+      const std::string array = expect(Tok::kIdent).text;
+      expect(Tok::kLParen);
+      std::vector<std::string> specs;
+      do {
+        const Token& s = next();
+        if (s.kind == Tok::kStar)
+          specs.push_back("*");
+        else if (s.kind == Tok::kIdent &&
+                 (s.text == "block" || s.text == "cyclic"))
+          specs.push_back(s.text);
+        else
+          throw ParseError(s.line, "bad DISTRIBUTE spec");
+      } while (accept(Tok::kComma));
+      expect(Tok::kRParen);
+      expect(Tok::kNewline);
+      ArrayDeclAst* decl = find_array(prog, array, t.line);
+      if (specs.size() != decl->extents.size())
+        throw ParseError(t.line, "DISTRIBUTE rank mismatch for " + array);
+      for (std::size_t d = 0; d + 1 < specs.size(); ++d)
+        if (specs[d] != "*")
+          throw ParseError(
+              t.line,
+              "only the last dimension may be distributed (paper §4.1)");
+      decl->dist = specs.back() == "*" ? "" : specs.back();
+    } else if (t.text == "independent") {
+      LoopNest nest;
+      nest.line = t.line;
+      if (accept(Tok::kComma)) {
+        expect_keyword("on");
+        expect_keyword("home");
+        expect(Tok::kLParen);
+        nest.home_array = expect(Tok::kIdent).text;
+        expect(Tok::kLParen);
+        // Subscripts: ':' for undistributed dims, a loop variable last.
+        std::string var;
+        do {
+          if (accept(Tok::kColon)) continue;
+          var = expect(Tok::kIdent).text;
+        } while (accept(Tok::kComma));
+        expect(Tok::kRParen);
+        expect(Tok::kRParen);
+        if (var.empty())
+          throw ParseError(t.line, "ON HOME needs a loop variable subscript");
+        nest.home_var = var;
+      }
+      expect(Tok::kNewline);
+      skip_newlines();
+      parse_do(nest, /*depth=*/0);
+      prog.loops.push_back(std::move(nest));
+    } else {
+      throw ParseError(t.line, "unknown directive '" + t.text + "'");
+    }
+  }
+
+  // ---- loops and statements ----
+  void parse_do(LoopNest& nest, int depth) {
+    expect_keyword("do");
+    LoopNest::Level lvl;
+    lvl.var = expect(Tok::kIdent).text;
+    expect(Tok::kAssign);
+    lvl.lo = parse_expr();
+    expect(Tok::kComma);
+    lvl.hi = parse_expr();
+    expect(Tok::kNewline);
+    nest.levels.push_back(std::move(lvl));
+    for (;;) {
+      skip_newlines();
+      const Token& t = peek();
+      if (t.kind == Tok::kIdent && (t.text == "enddo" || t.text == "end")) {
+        next();
+        if (t.text == "end") expect_keyword("do");
+        expect(Tok::kNewline);
+        return;
+      }
+      if (t.kind == Tok::kIdent && t.text == "do") {
+        parse_do(nest, depth + 1);
+        continue;
+      }
+      // assignment: arrayref '=' expr
+      Assign a;
+      a.line = t.line;
+      a.lhs = parse_factor();
+      if (a.lhs->kind != Expr::Kind::kArrayRef)
+        throw ParseError(t.line, "left-hand side must be an array element");
+      expect(Tok::kAssign);
+      a.rhs = parse_expr();
+      expect(Tok::kNewline);
+      nest.body.push_back(std::move(a));
+    }
+  }
+
+  // ---- expressions ----
+  ExprPtr parse_expr() {
+    ExprPtr e = parse_term();
+    while (peek().kind == Tok::kPlus || peek().kind == Tok::kMinus) {
+      const char op = next().kind == Tok::kPlus ? '+' : '-';
+      auto bin = std::make_shared<Expr>();
+      bin->kind = Expr::Kind::kBinOp;
+      bin->op = op;
+      bin->lhs = e;
+      bin->rhs = parse_term();
+      bin->line = bin->rhs->line;
+      e = bin;
+    }
+    return e;
+  }
+  ExprPtr parse_term() {
+    ExprPtr e = parse_factor();
+    while (peek().kind == Tok::kStar || peek().kind == Tok::kSlash) {
+      const char op = next().kind == Tok::kStar ? '*' : '/';
+      auto bin = std::make_shared<Expr>();
+      bin->kind = Expr::Kind::kBinOp;
+      bin->op = op;
+      bin->lhs = e;
+      bin->rhs = parse_factor();
+      bin->line = bin->rhs->line;
+      e = bin;
+    }
+    return e;
+  }
+  ExprPtr parse_factor() {
+    const Token& t = next();
+    auto e = std::make_shared<Expr>();
+    e->line = t.line;
+    switch (t.kind) {
+      case Tok::kNumber:
+        e->kind = Expr::Kind::kNumber;
+        e->number = t.number;
+        return e;
+      case Tok::kMinus:
+        e->kind = Expr::Kind::kNeg;
+        e->lhs = parse_factor();
+        return e;
+      case Tok::kLParen: {
+        ExprPtr inner = parse_expr();
+        expect(Tok::kRParen);
+        return inner;
+      }
+      case Tok::kIdent: {
+        if (peek().kind == Tok::kLParen) {
+          next();
+          e->kind = Expr::Kind::kArrayRef;
+          e->name = t.text;
+          do {
+            e->subs.push_back(parse_expr());
+          } while (accept(Tok::kComma));
+          expect(Tok::kRParen);
+          return e;
+        }
+        e->kind = Expr::Kind::kVar;
+        e->name = t.text;
+        return e;
+      }
+      default:
+        throw ParseError(t.line, "unexpected token in expression");
+    }
+  }
+
+  ArrayDeclAst* find_array(ProgramAst& prog, const std::string& name,
+                           int line) {
+    for (auto& a : prog.arrays)
+      if (a.name == name) return &a;
+    throw ParseError(line, "unknown array '" + name + "'");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ProgramAst parse(const std::string& source) {
+  Parser p(lex(source));
+  return p.parse_program();
+}
+
+}  // namespace fgdsm::hpf::frontend

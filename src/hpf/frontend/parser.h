@@ -1,0 +1,27 @@
+// Recursive-descent parser for the mini-HPF dialect.
+//
+// Grammar sketch (newline-terminated statements, case-insensitive):
+//   PROGRAM <name>
+//   PARAMETER (n = 64, m = 32)
+//   REAL u(n, n), v(n, n)
+//   !HPF$ PROCESSORS P(*)
+//   !HPF$ DISTRIBUTE u(*, BLOCK)
+//   !HPF$ INDEPENDENT, ON HOME (v(:, j))
+//   DO j = 2, n-1
+//     DO i = 2, n-1
+//       v(i, j) = 0.25 * (u(i-1, j) + u(i+1, j) + u(i, j-1) + u(i, j+1))
+//     END DO
+//   END DO
+//   END
+#pragma once
+
+#include <string>
+
+#include "src/hpf/frontend/ast.h"
+#include "src/hpf/frontend/lexer.h"
+
+namespace fgdsm::hpf::frontend {
+
+ProgramAst parse(const std::string& source);
+
+}  // namespace fgdsm::hpf::frontend

@@ -1,0 +1,61 @@
+#include "src/hpf/layout.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace fgdsm::hpf {
+
+std::vector<Run> linearize(const ArrayLayout& layout,
+                           const ConcreteSection& s) {
+  std::vector<Run> runs;
+  if (s.empty()) return runs;
+  FGDSM_ASSERT(s.dims.size() == layout.extents.size());
+  FGDSM_ASSERT_MSG(s.dims[0].normalized().stride == 1 ||
+                       s.dims[0].count() == 1,
+                   "dimension 0 must be unit-stride for linearization");
+
+  const std::int64_t row_lo = s.dims[0].lo;
+  const std::int64_t row_count = s.dims[0].count();
+  const std::size_t run_len = static_cast<std::size_t>(row_count) * layout.elem;
+
+  std::vector<std::int64_t> idx(s.dims.size(), 0);
+  std::function<void(std::size_t)> rec = [&](std::size_t d) {
+    if (d == 0) {
+      idx[0] = row_lo;
+      const GAddr a = layout.addr_of(idx);
+      if (!runs.empty() &&
+          runs.back().addr + runs.back().len == a) {
+        runs.back().len += run_len;  // merge contiguous columns
+      } else {
+        runs.push_back(Run{a, run_len});
+      }
+      return;
+    }
+    const ConcreteInterval iv = s.dims[d].normalized();
+    for (std::int64_t v = iv.lo; v <= iv.hi; v += iv.stride) {
+      idx[d] = v;
+      rec(d - 1);
+    }
+  };
+  rec(s.dims.size() - 1);
+  return runs;
+}
+
+std::size_t run_bytes(const std::vector<Run>& runs) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.len;
+  return total;
+}
+
+std::vector<Run> block_align_inner(const std::vector<Run>& runs,
+                                   std::size_t block_size) {
+  std::vector<Run> out;
+  for (const auto& r : runs) {
+    const GAddr lo = (r.addr + block_size - 1) / block_size * block_size;
+    const GAddr hi = (r.addr + r.len) / block_size * block_size;
+    if (hi > lo) out.push_back(Run{lo, static_cast<std::size_t>(hi - lo)});
+  }
+  return out;
+}
+
+}  // namespace fgdsm::hpf

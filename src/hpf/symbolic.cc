@@ -1,0 +1,26 @@
+#include "src/hpf/symbolic.h"
+
+#include <sstream>
+
+namespace fgdsm::hpf {
+
+std::string AffineExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  if (c0_ != 0 || terms_.empty()) {
+    os << c0_;
+    first = false;
+  }
+  for (const auto& [s, c] : terms_) {
+    if (c >= 0 && !first) os << "+";
+    if (c == -1)
+      os << "-";
+    else if (c != 1)
+      os << c << "*";
+    os << s;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace fgdsm::hpf

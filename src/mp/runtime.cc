@@ -1,0 +1,85 @@
+#include "src/mp/runtime.h"
+
+#include <cstring>
+
+#include "src/util/assert.h"
+
+namespace fgdsm::mp {
+
+MpRuntime::MpRuntime(tempest::Cluster& cluster)
+    : cluster_(cluster),
+      st_(static_cast<std::size_t>(cluster.nnodes())) {
+  cluster_.register_handler(
+      tempest::MsgType::kMpData,
+      [this](Node& self, sim::Message& m, tempest::HandlerClock& clk) {
+        clk.charge(cluster_.costs().mp_msg_overhead +
+                   cluster_.costs().copy_time(
+                       static_cast<std::int64_t>(m.payload.size())));
+        NodeState& st = st_[static_cast<std::size_t>(self.id())];
+        const std::int64_t epoch = m.arg[1];
+        if (epoch == st.epoch) {
+          apply(self, m);
+          self.recv_sem.post(clk.t,
+                             static_cast<std::int64_t>(m.payload.size()));
+        } else {
+          FGDSM_ASSERT_MSG(epoch > st.epoch,
+                           "stale MP message (epoch " << epoch << " < "
+                                                      << st.epoch << ")");
+          st.stash[epoch].push_back(std::move(m));
+        }
+      });
+}
+
+void MpRuntime::apply(Node& node, const sim::Message& m) {
+  std::memcpy(node.mem(m.addr), m.payload.data(), m.payload.size());
+}
+
+void MpRuntime::advance_epoch(Node& node, sim::Task& task) {
+  NodeState& st = st_[static_cast<std::size_t>(node.id())];
+  task.sync();  // settle handlers due now before flipping the epoch
+  ++st.epoch;
+  auto it = st.stash.find(st.epoch);
+  if (it == st.stash.end()) return;
+  for (const sim::Message& m : it->second) {
+    task.charge(cluster_.costs().copy_time(
+        static_cast<std::int64_t>(m.payload.size())));
+    apply(node, m);
+    node.recv_sem.post(task.now(),
+                       static_cast<std::int64_t>(m.payload.size()));
+  }
+  st.stash.erase(it);
+}
+
+void MpRuntime::send(Node& node, sim::Task& task, GAddr addr,
+                     std::size_t len, int dst, std::size_t max_payload) {
+  FGDSM_ASSERT(dst != node.id());
+  FGDSM_ASSERT(max_payload > 0);
+  const std::int64_t epoch =
+      st_[static_cast<std::size_t>(node.id())].epoch;
+  std::size_t off = 0;
+  while (off < len) {
+    const std::size_t chunk = std::min(max_payload, len - off);
+    // Marshalling cost: the runtime copies the section into a message
+    // buffer, converts descriptors and runs its progress engine once per
+    // message (see CostModel::mp_per_byte_extra_ns).
+    task.charge(cluster_.costs().mp_msg_overhead +
+                cluster_.costs().copy_time(static_cast<std::int64_t>(chunk)) +
+                static_cast<sim::Time>(
+                    cluster_.costs().mp_per_byte_extra_ns * chunk));
+    sim::Message m;
+    m.dst = dst;
+    m.type = static_cast<std::uint16_t>(tempest::MsgType::kMpData);
+    m.addr = addr + off;
+    m.arg[1] = epoch;
+    m.payload.resize(chunk);
+    std::memcpy(m.payload.data(), node.mem(addr + off), chunk);
+    node.send(task, std::move(m));
+    off += chunk;
+  }
+}
+
+void MpRuntime::recv(Node& node, sim::Task& task, std::int64_t bytes) {
+  if (bytes > 0) node.recv_sem.wait(task, bytes);
+}
+
+}  // namespace fgdsm::mp

@@ -1,0 +1,737 @@
+#include "src/proto/stache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "src/util/assert.h"
+#include "src/util/log.h"
+
+namespace fgdsm::proto {
+
+namespace {
+int popcount(std::uint64_t v) { return std::popcount(v); }
+}  // namespace
+
+Stache::Stache(tempest::Cluster& cluster)
+    : cluster_(cluster),
+      dir_(static_cast<std::size_t>(cluster.nnodes())),
+      nodes_(static_cast<std::size_t>(cluster.nnodes())) {
+  FGDSM_ASSERT_MSG(cluster.nnodes() <= 64, "sharer bitmask is 64 bits");
+  FGDSM_ASSERT_MSG(cluster.words_per_block() <= 64,
+                   "dirty masks are 64 bits (block <= 512 bytes)");
+  auto bind = [this](void (Stache::*fn)(Node&, sim::Message&,
+                                        HandlerClock&)) {
+    return [this, fn](Node& n, sim::Message& m, HandlerClock& c) {
+      (this->*fn)(n, m, c);
+    };
+  };
+  cluster.register_handler(MsgType::kReadReq, bind(&Stache::h_read_req));
+  cluster.register_handler(MsgType::kPutDataReq,
+                           bind(&Stache::h_put_data_req));
+  cluster.register_handler(MsgType::kPutDataResp,
+                           bind(&Stache::h_put_data_resp));
+  cluster.register_handler(MsgType::kReadResp, bind(&Stache::h_read_resp));
+  cluster.register_handler(MsgType::kWriteReq, bind(&Stache::h_write_req));
+  cluster.register_handler(MsgType::kInval, bind(&Stache::h_inval));
+  cluster.register_handler(MsgType::kInvalAck, bind(&Stache::h_inval_ack));
+  cluster.register_handler(MsgType::kWriteGrant,
+                           bind(&Stache::h_write_grant));
+  cluster.register_handler(MsgType::kFetchExclReq,
+                           bind(&Stache::h_fetch_excl_req));
+  cluster.register_handler(MsgType::kFetchExclResp,
+                           bind(&Stache::h_fetch_excl_resp));
+  cluster.register_handler(MsgType::kDirectData,
+                           bind(&Stache::h_direct_data));
+  cluster.register_handler(MsgType::kCccFlush, bind(&Stache::h_ccc_flush));
+  for (int i = 0; i < cluster.nnodes(); ++i)
+    cluster.node(i).protocol = this;
+}
+
+std::uint64_t Stache::full_mask() const {
+  const std::size_t w = cluster_.words_per_block();
+  return w >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
+}
+
+std::uint64_t Stache::pending_mask_of(int node, BlockId b) const {
+  const auto& up = nodes_[static_cast<std::size_t>(node)].upgrade;
+  auto it = up.find(b);
+  return it == up.end() ? 0 : it->second.mask;
+}
+
+void Stache::reset_pending_mask(int node, BlockId b) {
+  auto& up = nodes_[static_cast<std::size_t>(node)].upgrade;
+  auto it = up.find(b);
+  if (it != up.end()) it->second.mask = 0;
+}
+
+Stache::DirEntry& Stache::dir(Node& home, BlockId b) {
+  return dir_[static_cast<std::size_t>(home.id())][b];
+}
+
+Stache::DirSnapshot Stache::dir_snapshot(BlockId b) const {
+  const auto& m = dir_[static_cast<std::size_t>(
+      cluster_.home_of(b))];
+  auto it = m.find(b);
+  if (it == m.end()) return DirSnapshot{};
+  return DirSnapshot{it->second.state, it->second.sharers, it->second.owner,
+                     it->second.busy};
+}
+
+// ---------------------------------------------------------------------------
+// Fault entry points (compute-task context)
+// ---------------------------------------------------------------------------
+
+void Stache::on_read_fault(Node& node, sim::Task& task, BlockId b) {
+  NodeState& st = nodes_[static_cast<std::size_t>(node.id())];
+  task.charge(cluster_.costs().fault_cost);
+  sim::Message m;
+  m.dst = cluster_.home_of(b);
+  m.type = static_cast<std::uint16_t>(MsgType::kReadReq);
+  m.addr = cluster_.block_addr(b);
+  node.send(task, std::move(m));
+  st.miss_sem.wait(task);  // posted by h_read_resp
+}
+
+void Stache::issue_upgrade(Node& node, sim::Task& task, BlockId b) {
+  NodeState& st = nodes_[static_cast<std::size_t>(node.id())];
+  FGDSM_LOG("stache", "t=" << task.now() << " upgrade@" << node.id()
+                           << " blk=" << b);
+  node.set_access(b, Access::kReadWrite);  // eager: do not wait for grant
+  ++st.upgrade[b].reqs;
+  ++st.outstanding;
+  sim::Message m;
+  m.dst = cluster_.home_of(b);
+  m.type = static_cast<std::uint16_t>(MsgType::kWriteReq);
+  m.addr = cluster_.block_addr(b);
+  node.send(task, std::move(m));
+}
+
+void Stache::on_write_fault(Node& node, sim::Task& task, BlockId b) {
+  task.charge(cluster_.costs().fault_cost);
+  if (node.access(b) == Access::kInvalid) {
+    // Cold or conflict write miss: fetch the data first (a store writes only
+    // part of a block; the rest must be valid for later loads), then upgrade.
+    NodeState& st = nodes_[static_cast<std::size_t>(node.id())];
+    sim::Message m;
+    m.dst = cluster_.home_of(b);
+    m.type = static_cast<std::uint16_t>(MsgType::kReadReq);
+    m.addr = cluster_.block_addr(b);
+    node.send(task, std::move(m));
+    st.miss_sem.wait(task);
+  }
+  // The fetched copy can be revoked at this very instant (a racing
+  // invalidation handler); only upgrade a copy we actually hold. The caller
+  // (ensure_writable) rescans and retries otherwise.
+  if (node.access(b) == Access::kReadOnly) issue_upgrade(node, task, b);
+}
+
+void Stache::drain(Node& node, sim::Task& task) {
+  NodeState& st = nodes_[static_cast<std::size_t>(node.id())];
+  while (st.outstanding > 0) st.drain_sem.wait(task);
+}
+
+void Stache::note_writes(Node& node, GAddr addr, std::size_t len) {
+  NodeState& st = nodes_[static_cast<std::size_t>(node.id())];
+  if (st.upgrade.empty() || len == 0) return;
+  const std::size_t bs = cluster_.block_size();
+  const BlockId first = cluster_.block_of(addr);
+  const BlockId last = cluster_.block_of(addr + len - 1);
+  for (BlockId b = first; b <= last; ++b) {
+    auto it = st.upgrade.find(b);
+    if (it == st.upgrade.end()) continue;
+    FGDSM_LOG("stache", "note_writes@" << node.id() << " blk=" << b
+                                       << " addr=" << addr << " len=" << len);
+    const GAddr bstart = cluster_.block_addr(b);
+    const GAddr lo = addr > bstart ? addr : bstart;
+    const GAddr hi = (addr + len) < (bstart + bs) ? (addr + len)
+                                                  : (bstart + bs);
+    const std::size_t w0 = (lo - bstart) / 8;
+    const std::size_t w1 = (hi - 1 - bstart) / 8;
+    for (std::size_t w = w0; w <= w1; ++w)
+      it->second.mask |= std::uint64_t{1} << w;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Home-side directory machinery
+// ---------------------------------------------------------------------------
+
+void Stache::send_block_msg(Node& from, HandlerClock& clk, int dst,
+                            MsgType type, BlockId b, std::uint64_t mask,
+                            bool with_data) {
+  sim::Message m;
+  m.dst = dst;
+  m.type = static_cast<std::uint16_t>(type);
+  m.addr = cluster_.block_addr(b);
+  m.arg[0] = static_cast<std::int64_t>(mask);
+  if (with_data) {
+    m.payload.resize(cluster_.block_size());
+    std::memcpy(m.payload.data(), from.mem(m.addr), cluster_.block_size());
+    clk.charge(cluster_.costs().copy_time(
+        static_cast<std::int64_t>(cluster_.block_size())));
+  }
+  from.send_from_handler(clk, std::move(m));
+}
+
+void Stache::h_read_req(Node& self, sim::Message& m, HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  FGDSM_DCHECK(cluster_.home_of(b) == self.id());
+  DirEntry& e = dir(self, b);
+  clk.charge(cluster_.costs().dir_lookup_cost);
+  if (e.busy) {
+    e.queue.push_back({MsgType::kReadReq, m.src});
+    return;
+  }
+  service(self, MsgType::kReadReq, m.src, b, clk);
+}
+
+void Stache::h_write_req(Node& self, sim::Message& m, HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  FGDSM_DCHECK(cluster_.home_of(b) == self.id());
+  DirEntry& e = dir(self, b);
+  clk.charge(cluster_.costs().dir_lookup_cost);
+  if (e.busy) {
+    e.queue.push_back({MsgType::kWriteReq, m.src});
+    return;
+  }
+  service(self, MsgType::kWriteReq, m.src, b, clk);
+}
+
+void Stache::h_fetch_excl_req(Node& self, sim::Message& m,
+                              HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  FGDSM_DCHECK(cluster_.home_of(b) == self.id());
+  DirEntry& e = dir(self, b);
+  clk.charge(cluster_.costs().dir_lookup_cost);
+  if (e.busy) {
+    e.queue.push_back({MsgType::kFetchExclReq, m.src});
+    return;
+  }
+  service(self, MsgType::kFetchExclReq, m.src, b, clk);
+}
+
+void Stache::service(Node& home, MsgType type, int requester, BlockId b,
+                     HandlerClock& clk) {
+  DirEntry& e = dir(home, b);
+  FGDSM_DCHECK(!e.busy);
+  const int self = home.id();
+  FGDSM_LOG("stache", "t=" << clk.t << " service blk=" << b << " type="
+                           << static_cast<int>(type) << " req=" << requester
+                           << " state=" << static_cast<int>(e.state)
+                           << " sharers=" << e.sharers << " owner="
+                           << e.owner);
+
+  switch (type) {
+    case MsgType::kReadReq: {
+      switch (e.state) {
+        case DirState::kIdle:
+          // Home memory is authoritative. If the home still holds the block
+          // writable, downgrade it (it becomes an implicit sharer) so its
+          // future writes fault and invalidate the new reader.
+          if (home.access(b) == Access::kReadWrite) {
+            home.set_access(b, Access::kReadOnly);
+            clk.charge(cluster_.costs().access_change_cost);
+            e.sharers |= bit(self);
+          }
+          e.state = DirState::kShared;
+          e.sharers |= bit(requester);
+          send_block_msg(home, clk, requester, MsgType::kReadResp, b, 0,
+                         /*with_data=*/true);
+          break;
+        case DirState::kShared:
+          e.sharers |= bit(requester);
+          send_block_msg(home, clk, requester, MsgType::kReadResp, b, 0,
+                         /*with_data=*/true);
+          break;
+        case DirState::kExcl: {
+          FGDSM_ASSERT_MSG(e.owner != requester,
+                           "read fault from the exclusive owner (block "
+                               << b << ", node " << requester << ")");
+          if (e.owner == self) {
+            // Home itself is the owner: downgrade in place, serve from
+            // memory (no recall messages needed).
+            FGDSM_DCHECK(home.access(b) == Access::kReadWrite);
+            home.set_access(b, Access::kReadOnly);
+            clk.charge(cluster_.costs().access_change_cost);
+            reset_pending_mask(self, b);
+            e.state = DirState::kShared;
+            e.sharers = bit(self) | bit(requester);
+            e.owner = -1;
+            send_block_msg(home, clk, requester, MsgType::kReadResp, b, 0,
+                           /*with_data=*/true);
+          } else {
+            e.busy = true;
+            e.txn = Txn{Txn::Kind::kRead, requester, 1, 0};
+            send_block_msg(home, clk, e.owner, MsgType::kPutDataReq, b, 0,
+                           /*with_data=*/false);
+          }
+          break;
+        }
+      }
+      break;
+    }
+
+    case MsgType::kWriteReq: {
+      // Legitimate upgrades come from current sharers; anything else means
+      // the requester's copy was invalidated while this request was in
+      // flight — deny (its dirty words already travelled with the
+      // invalidation ack).
+      if (e.state != DirState::kShared || (e.sharers & bit(requester)) == 0) {
+        sim::Message g;
+        g.dst = requester;
+        g.type = static_cast<std::uint16_t>(MsgType::kWriteGrant);
+        g.addr = cluster_.block_addr(b);
+        g.arg[1] = 1;  // denied
+        home.send_from_handler(clk, std::move(g));
+        break;
+      }
+      const std::uint64_t to_inval = e.sharers & ~bit(requester);
+      if (to_inval == 0) {
+        e.state = DirState::kExcl;
+        e.owner = requester;
+        e.sharers = 0;
+        sim::Message g;
+        g.dst = requester;
+        g.type = static_cast<std::uint16_t>(MsgType::kWriteGrant);
+        g.addr = cluster_.block_addr(b);
+        home.send_from_handler(clk, std::move(g));
+        break;
+      }
+      e.busy = true;
+      e.txn = Txn{Txn::Kind::kWrite, requester, popcount(to_inval), 0};
+      for (int n = 0; n < cluster_.nnodes(); ++n) {
+        if ((to_inval & bit(n)) == 0) continue;
+        send_block_msg(home, clk, n, MsgType::kInval, b, 0,
+                       /*with_data=*/false);
+      }
+      break;
+    }
+
+    case MsgType::kFetchExclReq: {
+      switch (e.state) {
+        case DirState::kIdle: {
+          FGDSM_ASSERT_MSG(requester != self,
+                           "fetch-exclusive from home on an idle block");
+          if (home.access(b) != Access::kInvalid) {
+            home.set_access(b, Access::kInvalid);
+            clk.charge(cluster_.costs().access_change_cost);
+          }
+          reset_pending_mask(self, b);
+          e.state = DirState::kExcl;
+          e.owner = requester;
+          e.sharers = 0;
+          send_block_msg(home, clk, requester, MsgType::kFetchExclResp, b, 0,
+                         /*with_data=*/true);
+          break;
+        }
+        case DirState::kShared: {
+          std::uint64_t to_inval = e.sharers & ~bit(requester);
+          // Invalidate the home's own read-only copy inline (its memory is
+          // the authoritative storage; no message needed).
+          if ((to_inval & bit(self)) != 0) {
+            home.set_access(b, Access::kInvalid);
+            clk.charge(cluster_.costs().access_change_cost);
+            reset_pending_mask(self, b);
+            to_inval &= ~bit(self);
+          }
+          if (to_inval == 0) {
+            e.state = DirState::kExcl;
+            e.owner = requester;
+            e.sharers = 0;
+            send_block_msg(home, clk, requester, MsgType::kFetchExclResp, b,
+                           0, /*with_data=*/true);
+            break;
+          }
+          e.busy = true;
+          e.txn = Txn{Txn::Kind::kFetchExcl, requester, popcount(to_inval),
+                      0};
+          e.sharers = 0;
+          for (int n = 0; n < cluster_.nnodes(); ++n) {
+            if ((to_inval & bit(n)) == 0) continue;
+            send_block_msg(home, clk, n, MsgType::kInval, b, 0,
+                           /*with_data=*/false);
+          }
+          break;
+        }
+        case DirState::kExcl: {
+          FGDSM_ASSERT_MSG(e.owner != requester,
+                           "fetch-exclusive from current owner (block " << b
+                                                                        << ")");
+          if (e.owner == self) {
+            FGDSM_DCHECK(home.access(b) == Access::kReadWrite);
+            home.set_access(b, Access::kInvalid);
+            clk.charge(cluster_.costs().access_change_cost);
+            reset_pending_mask(self, b);
+            e.owner = requester;
+            send_block_msg(home, clk, requester, MsgType::kFetchExclResp, b,
+                           0, /*with_data=*/true);
+          } else {
+            e.busy = true;
+            e.txn = Txn{Txn::Kind::kFetchExcl, requester, 1, 0};
+            const int prev = e.owner;
+            e.owner = -1;
+            send_block_msg(home, clk, prev, MsgType::kInval, b, 0,
+                           /*with_data=*/false);
+          }
+          break;
+        }
+      }
+      break;
+    }
+
+    default:
+      FGDSM_ASSERT_MSG(false, "unexpected request type in service()");
+  }
+}
+
+void Stache::h_put_data_req(Node& self, sim::Message& m, HandlerClock& clk) {
+  // We are the exclusive owner; the home recalls the data for a reader.
+  const BlockId b = cluster_.block_of(m.addr);
+  FGDSM_LOG("stache", "t=" << clk.t << " putdatareq@" << self.id() << " blk="
+                           << b);
+  FGDSM_ASSERT_MSG(self.access(b) == Access::kReadWrite,
+                   "put-data request at non-owner (block " << b << ")");
+  self.set_access(b, Access::kReadOnly);
+  clk.charge(cluster_.costs().access_change_cost);
+  // A granted owner's copy is complete (see grant fix-up), so it carries
+  // full-block authority back to the home.
+  send_block_msg(self, clk, m.src, MsgType::kPutDataResp, b, full_mask(),
+                 /*with_data=*/true);
+}
+
+void Stache::apply_masked_words(Node& dst, BlockId b, std::uint64_t mask,
+                                const std::vector<std::byte>& payload) {
+  const GAddr base = cluster_.block_addr(b);
+  const std::size_t words = cluster_.words_per_block();
+  FGDSM_DCHECK(payload.size() == cluster_.block_size());
+  for (std::size_t w = 0; w < words; ++w) {
+    if ((mask & (std::uint64_t{1} << w)) == 0) continue;
+    std::memcpy(dst.mem(base + w * 8), payload.data() + w * 8, 8);
+  }
+}
+
+void Stache::h_put_data_resp(Node& self, sim::Message& m, HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  DirEntry& e = dir(self, b);
+  FGDSM_DCHECK(e.busy && e.txn.kind == Txn::Kind::kRead);
+  // The home's own in-flight eager writes live directly in home memory (the
+  // home's copy *is* the storage); never let an incoming flush stomp them.
+  apply_masked_words(self, b,
+                     static_cast<std::uint64_t>(m.arg[0]) &
+                         ~pending_mask_of(self.id(), b),
+                     m.payload);
+  clk.charge(cluster_.costs().copy_time(
+      static_cast<std::int64_t>(cluster_.block_size())));
+  const int prev_owner = e.owner;
+  e.state = DirState::kShared;
+  e.sharers = bit(prev_owner) | bit(e.txn.requester);
+  e.owner = -1;
+  send_block_msg(self, clk, e.txn.requester, MsgType::kReadResp, b, 0,
+                 /*with_data=*/true);
+  e.busy = false;
+  pump_queue(self, b, clk);
+}
+
+void Stache::h_read_resp(Node& self, sim::Message& m, HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  FGDSM_LOG("stache", "t=" << clk.t << " readresp@" << self.id() << " blk="
+                           << b);
+  FGDSM_DCHECK(self.access(b) == Access::kInvalid);
+  std::memcpy(self.mem(m.addr), m.payload.data(), cluster_.block_size());
+  self.set_access(b, Access::kReadOnly);
+  clk.charge(cluster_.costs().copy_time(
+                 static_cast<std::int64_t>(cluster_.block_size())) +
+             cluster_.costs().access_change_cost);
+  nodes_[static_cast<std::size_t>(self.id())].miss_sem.post(clk.t);
+}
+
+void Stache::h_inval(Node& self, sim::Message& m, HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  FGDSM_LOG("stache", "t=" << clk.t << " inval@" << self.id() << " blk=" << b
+                           << " tag=" << static_cast<int>(self.access(b))
+                           << " pend=" << pending_mask_of(self.id(), b));
+  NodeState& st = nodes_[static_cast<std::size_t>(self.id())];
+  ++self.stats.invalidations_received;
+  std::uint64_t mask = 0;
+  auto it = st.upgrade.find(b);
+  if (it != st.upgrade.end()) {
+    // Eager upgrade in flight: ship the words we wrote since the last fetch
+    // so they are not lost, and reset the mask — the in-flight requests
+    // still get their grant/deny answers, counted by it->second.reqs.
+    mask = it->second.mask;
+    it->second.mask = 0;
+  } else if (self.access(b) == Access::kReadWrite) {
+    // Granted exclusive copy: complete, full authority.
+    mask = full_mask();
+  }
+  if (self.access(b) != Access::kInvalid) {
+    self.set_access(b, Access::kInvalid);
+    clk.charge(cluster_.costs().access_change_cost);
+  }
+  send_block_msg(self, clk, m.src, MsgType::kInvalAck, b, mask,
+                 /*with_data=*/mask != 0);
+}
+
+void Stache::h_inval_ack(Node& self, sim::Message& m, HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  DirEntry& e = dir(self, b);
+  FGDSM_DCHECK(e.busy);
+  const std::uint64_t mask = static_cast<std::uint64_t>(m.arg[0]);
+  FGDSM_LOG("stache", "t=" << clk.t << " invalack@" << self.id() << " blk="
+                           << b << " from=" << m.src << " mask=" << mask);
+  if (mask != 0) {
+    // Skip words the home itself has dirtied under a live eager upgrade
+    // (home memory is the home's copy; see h_put_data_resp).
+    apply_masked_words(self, b, mask & ~pending_mask_of(self.id(), b),
+                       m.payload);
+    clk.charge(cluster_.costs().copy_time(
+        static_cast<std::int64_t>(cluster_.block_size())));
+    e.txn.fixup_mask |= mask;
+  }
+  FGDSM_DCHECK(e.txn.acks_needed > 0);
+  --e.txn.acks_needed;
+  finish_txn_if_done(self, b, e, clk);
+}
+
+void Stache::finish_txn_if_done(Node& home, BlockId b, DirEntry& e,
+                                HandlerClock& clk) {
+  if (e.txn.acks_needed > 0) return;
+  switch (e.txn.kind) {
+    case Txn::Kind::kWrite: {
+      e.state = DirState::kExcl;
+      e.owner = e.txn.requester;
+      e.sharers = 0;
+      // Grant; forward any words merged from concurrently-invalidated
+      // writers so the new owner's copy becomes complete.
+      send_block_msg(home, clk, e.txn.requester, MsgType::kWriteGrant, b,
+                     e.txn.fixup_mask, /*with_data=*/e.txn.fixup_mask != 0);
+      break;
+    }
+    case Txn::Kind::kFetchExcl: {
+      e.state = DirState::kExcl;
+      e.owner = e.txn.requester;
+      e.sharers = 0;
+      send_block_msg(home, clk, e.txn.requester, MsgType::kFetchExclResp, b,
+                     0, /*with_data=*/true);
+      break;
+    }
+    case Txn::Kind::kRead:
+      FGDSM_ASSERT_MSG(false, "read transactions complete in put_data_resp");
+  }
+  e.busy = false;
+  pump_queue(home, b, clk);
+}
+
+void Stache::pump_queue(Node& home, BlockId b, HandlerClock& clk) {
+  DirEntry& e = dir(home, b);
+  while (!e.busy && !e.queue.empty()) {
+    const QueuedReq req = e.queue.front();
+    e.queue.pop_front();
+    clk.charge(cluster_.costs().dir_lookup_cost);
+    service(home, req.type, req.requester, b, clk);
+  }
+}
+
+void Stache::h_write_grant(Node& self, sim::Message& m, HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  NodeState& st = nodes_[static_cast<std::size_t>(self.id())];
+  auto it = st.upgrade.find(b);
+  FGDSM_ASSERT_MSG(it != st.upgrade.end(),
+                   "grant/deny without in-flight upgrade (block " << b
+                                                                  << ")");
+  const bool denied = m.arg[1] != 0;
+  FGDSM_LOG("stache", "t=" << clk.t << " grant@" << self.id() << " blk=" << b
+                           << " denied=" << denied << " fixup=" << m.arg[0]
+                           << " mymask=" << it->second.mask << " reqs="
+                           << it->second.reqs);
+  if (!denied) {
+    const std::uint64_t fixup = static_cast<std::uint64_t>(m.arg[0]);
+    if (fixup != 0) {
+      // Apply every forwarded word we did not write ourselves.
+      apply_masked_words(self, b, fixup & ~it->second.mask, m.payload);
+      clk.charge(cluster_.costs().copy_time(
+          static_cast<std::int64_t>(cluster_.block_size())));
+    }
+    FGDSM_DCHECK(self.access(b) == Access::kReadWrite);
+  }
+  if (--it->second.reqs == 0) st.upgrade.erase(it);
+  FGDSM_DCHECK(st.outstanding > 0);
+  --st.outstanding;
+  st.drain_sem.post(clk.t);
+}
+
+void Stache::h_fetch_excl_resp(Node& self, sim::Message& m,
+                               HandlerClock& clk) {
+  const BlockId b = cluster_.block_of(m.addr);
+  NodeState& st = nodes_[static_cast<std::size_t>(self.id())];
+  std::memcpy(self.mem(m.addr), m.payload.data(), cluster_.block_size());
+  self.set_access(b, Access::kReadWrite);
+  clk.charge(cluster_.costs().copy_time(
+                 static_cast<std::int64_t>(cluster_.block_size())) +
+             cluster_.costs().access_change_cost);
+  FGDSM_DCHECK(st.outstanding > 0);
+  --st.outstanding;
+  st.drain_sem.post(clk.t);
+}
+
+// ---------------------------------------------------------------------------
+// Compiler-directed primitives
+// ---------------------------------------------------------------------------
+
+void Stache::mk_writable(Node& node, sim::Task& task, BlockId first,
+                         BlockId last) {
+  NodeState& st = nodes_[static_cast<std::size_t>(node.id())];
+  ++node.stats.ccc_runtime_calls;
+  task.charge(cluster_.costs().ccc_call_overhead);
+  for (BlockId b = first; b <= last; ++b) {
+    task.charge(cluster_.costs().ccc_per_block_cost);
+    switch (node.access(b)) {
+      case Access::kReadWrite:
+        break;  // nothing to do (the common §4.3 case)
+      case Access::kReadOnly:
+        issue_upgrade(node, task, b);
+        break;
+      case Access::kInvalid: {
+        ++st.outstanding;
+        sim::Message m;
+        m.dst = cluster_.home_of(b);
+        m.type = static_cast<std::uint16_t>(MsgType::kFetchExclReq);
+        m.addr = cluster_.block_addr(b);
+        node.send(task, std::move(m));
+        break;
+      }
+    }
+  }
+  // Pipelined: no wait here. The barrier that follows (Fig. 2) drains.
+}
+
+void Stache::implicit_writable(Node& node, sim::Task& task, BlockId first,
+                               BlockId last) {
+  ++node.stats.ccc_runtime_calls;
+  task.charge(cluster_.costs().ccc_call_overhead);
+  for (BlockId b = first; b <= last; ++b) {
+    task.charge(cluster_.costs().ccc_per_block_cost +
+                cluster_.costs().access_change_cost);
+    node.set_access(b, Access::kReadWrite);
+  }
+}
+
+void Stache::implicit_invalidate(Node& node, sim::Task& task, BlockId first,
+                                 BlockId last) {
+  ++node.stats.ccc_runtime_calls;
+  task.charge(cluster_.costs().ccc_call_overhead);
+  for (BlockId b = first; b <= last; ++b) {
+    task.charge(cluster_.costs().ccc_per_block_cost +
+                cluster_.costs().access_change_cost);
+    node.set_access(b, Access::kInvalid);
+  }
+}
+
+std::int64_t Stache::blocks_in(GAddr addr, std::size_t len) const {
+  FGDSM_ASSERT_MSG(addr % cluster_.block_size() == 0 &&
+                       len % cluster_.block_size() == 0,
+                   "compiler-controlled range must be block-aligned");
+  return static_cast<std::int64_t>(len / cluster_.block_size());
+}
+
+void Stache::send_blocks(Node& node, sim::Task& task, GAddr addr,
+                         std::size_t len, const std::vector<int>& dests,
+                         std::size_t max_payload) {
+  if (len == 0 || dests.empty()) return;
+  FGDSM_LOG("ccc", "send_blocks@" << node.id() << " addr=" << addr
+                                  << " len=" << len << " dst=" << dests[0]
+                                  << " t=" << task.now());
+  const std::int64_t nblocks = blocks_in(addr, len);
+  ++node.stats.ccc_runtime_calls;
+  task.charge(cluster_.costs().ccc_call_overhead);
+  FGDSM_ASSERT(max_payload >= cluster_.block_size() &&
+               max_payload % cluster_.block_size() == 0);
+  for (int dst : dests) {
+    FGDSM_ASSERT_MSG(dst != node.id(), "send_blocks to self");
+    std::size_t off = 0;
+    while (off < len) {
+      const std::size_t chunk = std::min(max_payload, len - off);
+      sim::Message m;
+      m.dst = dst;
+      m.type = static_cast<std::uint16_t>(MsgType::kDirectData);
+      m.addr = addr + off;
+      m.arg[0] = static_cast<std::int64_t>(chunk / cluster_.block_size());
+      m.payload.resize(chunk);
+      std::memcpy(m.payload.data(), node.mem(addr + off), chunk);
+      node.send(task, std::move(m));
+      ++node.stats.ccc_messages_sent;
+      off += chunk;
+    }
+    node.stats.ccc_blocks_sent += static_cast<std::uint64_t>(nblocks);
+  }
+}
+
+void Stache::ready_to_recv(Node& node, sim::Task& task,
+                           std::int64_t nblocks) {
+  ++node.stats.ccc_runtime_calls;
+  task.charge(cluster_.costs().ccc_call_overhead);
+  if (nblocks > 0) node.recv_sem.wait(task, nblocks);
+}
+
+void Stache::ccc_flush(Node& node, sim::Task& task, GAddr addr,
+                       std::size_t len, int owner, std::size_t max_payload) {
+  if (len == 0) return;
+  FGDSM_LOG("ccc", "ccc_flush@" << node.id() << " addr=" << addr << " len="
+                                << len << " owner=" << owner << " t="
+                                << task.now());
+  ++node.stats.ccc_runtime_calls;
+  task.charge(cluster_.costs().ccc_call_overhead);
+  FGDSM_ASSERT(owner != node.id());
+  std::size_t off = 0;
+  while (off < len) {
+    const std::size_t chunk = std::min(max_payload, len - off);
+    sim::Message m;
+    m.dst = owner;
+    m.type = static_cast<std::uint16_t>(MsgType::kCccFlush);
+    m.addr = addr + off;
+    m.arg[0] = static_cast<std::int64_t>(chunk / cluster_.block_size());
+    m.payload.resize(chunk);
+    std::memcpy(m.payload.data(), node.mem(addr + off), chunk);
+    node.send(task, std::move(m));
+    ++node.stats.ccc_messages_sent;
+    off += chunk;
+  }
+  node.stats.ccc_blocks_sent +=
+      static_cast<std::uint64_t>(blocks_in(addr, len));
+}
+
+void Stache::h_direct_data(Node& self, sim::Message& m, HandlerClock& clk) {
+  FGDSM_LOG("ccc", "directdata@" << self.id() << " addr=" << m.addr
+                                 << " len=" << m.payload.size() << " t="
+                                 << clk.t);
+  // Compiler contract: the receiver opened these blocks with
+  // implicit_writable before the transfer barrier.
+  const BlockId first = cluster_.block_of(m.addr);
+  const std::int64_t nblocks = m.arg[0];
+  for (std::int64_t i = 0; i < nblocks; ++i)
+    FGDSM_DCHECK(self.access(first + static_cast<BlockId>(i)) ==
+                 Access::kReadWrite);
+  std::memcpy(self.mem(m.addr), m.payload.data(), m.payload.size());
+  clk.charge(cluster_.costs().copy_time(
+      static_cast<std::int64_t>(m.payload.size())));
+  self.recv_sem.post(clk.t, nblocks);
+}
+
+void Stache::h_ccc_flush(Node& self, sim::Message& m, HandlerClock& clk) {
+  FGDSM_LOG("ccc", "cccflush@" << self.id() << " addr=" << m.addr << " len="
+                               << m.payload.size() << " t=" << clk.t);
+  // We are the owner; a compiler-identified non-owner writer returns its
+  // results. Our copy is exclusive and writable; just store the bytes.
+  const BlockId first = cluster_.block_of(m.addr);
+  const std::int64_t nblocks = m.arg[0];
+  for (std::int64_t i = 0; i < nblocks; ++i)
+    FGDSM_DCHECK(self.access(first + static_cast<BlockId>(i)) ==
+                 Access::kReadWrite);
+  std::memcpy(self.mem(m.addr), m.payload.data(), m.payload.size());
+  clk.charge(cluster_.costs().copy_time(
+      static_cast<std::int64_t>(m.payload.size())));
+  self.recv_sem.post(clk.t, nblocks);
+}
+
+}  // namespace fgdsm::proto

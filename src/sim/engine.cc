@@ -1,0 +1,92 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/sim/task.h"
+#include "src/util/assert.h"
+
+namespace fgdsm::sim {
+
+Engine::~Engine() {
+  FGDSM_ASSERT_MSG(tasks_.empty(),
+                   "engine destroyed with " << tasks_.size()
+                                            << " live tasks");
+}
+
+void Engine::push(Queue& q, Time t, std::function<void()> fn) {
+  FGDSM_ASSERT_MSG(t >= now_, "event scheduled in the past: " << t << " < "
+                                                              << now_);
+  q.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule(Time t, std::function<void()> fn) {
+  push(events_, t, std::move(fn));
+}
+
+void Engine::schedule_task_resume(Time t, std::function<void()> fn) {
+  push(resumes_, t, std::move(fn));
+}
+
+Time Engine::next_event_time() const {
+  return events_.empty() ? kTimeInfinity : events_.top().t;
+}
+
+Time Engine::next_resume_time() const {
+  return resumes_.empty() ? kTimeInfinity : resumes_.top().t;
+}
+
+void Engine::set_lookahead(Time la) {
+  FGDSM_ASSERT_MSG(la >= 2, "lookahead must be >= 2 to guarantee progress");
+  lookahead_ = la;
+}
+
+bool Engine::front_precedes(const Queue& a, const Queue& b) {
+  // True if a's front event should run before b's (global time,seq order).
+  if (a.empty()) return false;
+  if (b.empty()) return true;
+  return b.top() > a.top();
+}
+
+void Engine::run() {
+  FGDSM_ASSERT_MSG(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  while (!events_.empty() || !resumes_.empty()) {
+    Queue& q = front_precedes(events_, resumes_) ? events_ : resumes_;
+    // priority_queue::top() is const; the event is moved out via const_cast,
+    // which is safe because we pop immediately after.
+    Event ev = std::move(const_cast<Event&>(q.top()));
+    q.pop();
+    now_ = ev.t;
+    ++events_processed_;
+    try {
+      ev.fn();
+    } catch (...) {
+      running_ = false;
+      throw;
+    }
+  }
+  running_ = false;
+  check_deadlock();
+}
+
+void Engine::check_deadlock() const {
+  std::ostringstream os;
+  bool dead = false;
+  for (const Task* t : tasks_) {
+    if (!t->finished()) {
+      if (!dead) os << "simulation deadlock; blocked tasks:";
+      dead = true;
+      os << " " << t->name();
+    }
+  }
+  if (dead) throw AssertionError(os.str());
+}
+
+void Engine::register_task(Task* t) { tasks_.push_back(t); }
+
+void Engine::unregister_task(Task* t) {
+  tasks_.erase(std::remove(tasks_.begin(), tasks_.end(), t), tasks_.end());
+}
+
+}  // namespace fgdsm::sim

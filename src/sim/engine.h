@@ -1,0 +1,109 @@
+// Deterministic discrete-event engine.
+//
+// The engine owns a priority queue of (time, sequence, callback) events.
+// Events at equal timestamps run in scheduling order, so every run of the
+// same program is bit-identical. Simulated "threads" (sim::Task) hand a baton
+// back and forth with the engine: at any host instant exactly one of
+// {engine, one task} executes, which makes the whole simulator data-race-free
+// without per-object locking.
+//
+// Events come in two kinds:
+//   - ordinary events ("handler" events: message deliveries, timers) — a
+//     running task must never let its virtual clock pass one of these,
+//     because the event may mutate state the task observes (block tags);
+//   - task-resume events — bookkeeping for the baton. A running task may run
+//     ahead of another task's pending resume by strictly less than the
+//     engine's *lookahead* (conservative-PDES style): lookahead must be a
+//     lower bound on the latency with which one task's actions can affect
+//     another (here: message injection + wire latency). This both preserves
+//     causality — a laggard task always gets scheduled before its earliest
+//     possible effect on anyone else — and breaks the livelock that arises
+//     if equal-timestamp tasks yield to each other unconditionally.
+// next_event_time() reports only ordinary events; the run loop interleaves
+// both kinds in global (time, sequence) order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace fgdsm::sim {
+
+class Task;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  // Schedule an ordinary event at virtual time t (>= now()).
+  void schedule(Time t, std::function<void()> fn);
+  void schedule_after(Time dt, std::function<void()> fn) {
+    schedule(now_ + dt, std::move(fn));
+  }
+
+  // Schedule a task resumption (Task internals only).
+  void schedule_task_resume(Time t, std::function<void()> fn);
+
+  // Time of the event currently being processed (or last processed).
+  Time now() const { return now_; }
+
+  // Timestamp of the earliest pending ordinary event, or kTimeInfinity.
+  // Safe to call from a running task: while a task runs, the engine is
+  // blocked and cannot pop events.
+  Time next_event_time() const;
+
+  // Timestamp of the earliest pending task resume, or kTimeInfinity.
+  Time next_resume_time() const;
+
+  // Minimum cross-task influence latency (see file comment). Must be >= 2 to
+  // guarantee progress between equal-timestamp tasks; the cluster layer sets
+  // it from the cost model (message injection + wire latency).
+  void set_lookahead(Time la);
+  Time lookahead() const { return lookahead_; }
+
+  // Run the event loop until both queues are empty. Throws if registered
+  // tasks are still blocked when the queues drain (deadlock).
+  void run();
+
+  // Task registration (used by sim::Task's constructor/destructor).
+  void register_task(Task* t);
+  void unregister_task(Task* t);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  friend class Task;
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+  using Queue =
+      std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
+
+  void push(Queue& q, Time t, std::function<void()> fn);
+  static bool front_precedes(const Queue& a, const Queue& b);
+  void check_deadlock() const;
+
+  Queue events_;   // ordinary (handler) events
+  Queue resumes_;  // task-resume events
+  Time lookahead_ = 1000;  // conservative default; cluster overrides
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::vector<Task*> tasks_;
+  bool running_ = false;
+};
+
+}  // namespace fgdsm::sim

@@ -1,0 +1,66 @@
+// Point-to-point network with per-node transmit occupancy, wire latency and
+// bandwidth. Messages are active messages in the Tempest sense: a type, a few
+// word arguments, and an optional data payload (e.g. a cache block, or a
+// bulk-transfer payload of several contiguous blocks).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/time.h"
+
+namespace fgdsm::sim {
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  std::uint16_t type = 0;
+  std::uint64_t addr = 0;                 // usually a global byte address
+  std::array<std::int64_t, 4> arg{};      // small scalar arguments
+  std::vector<std::byte> payload;         // optional data
+
+  std::int64_t size_bytes(int header) const {
+    return header + static_cast<std::int64_t>(payload.size());
+  }
+};
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(Message&&, Time arrival)>;
+
+  Network(Engine& engine, const CostModel& costs, int nnodes);
+
+  // Install the delivery sink for a node (the node's handler dispatcher).
+  void attach(int node, DeliverFn deliver);
+
+  // Transmit msg; the sender's NI is occupied starting no earlier than
+  // `earliest` (typically the sending cpu's clock after it has charged
+  // msg_send_overhead) for the wire-serialization time. Returns serialization
+  // end. Delivery is scheduled at serialization end + wire latency.
+  // Self-sends (loopback) skip the wire. The cpu cost of composing the
+  // message is the caller's to charge — on a compute task's clock or a
+  // handler's clock — so that cpu and NI occupancy are modeled separately.
+  Time send(Time earliest, Message msg);
+
+  // Serialization-only cost (no send overhead), for cost queries.
+  Time tx_time(std::int64_t payload_bytes) const;
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  Engine& engine_;
+  const CostModel& costs_;
+  std::vector<Resource> tx_;  // one transmit resource per node
+  std::vector<DeliverFn> deliver_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace fgdsm::sim

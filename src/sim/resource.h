@@ -1,0 +1,41 @@
+// A Resource models a serially-occupiable piece of simulated hardware (a cpu,
+// a network interface's transmit side). It is a single monotonic
+// "busy until" timestamp: acquire() serializes work on the resource.
+//
+// The single-cpu vs dual-cpu configurations of the paper's Tempest platform
+// are expressed entirely through resources: in single-cpu mode the protocol
+// handlers and the compute task acquire the *same* resource, so handler
+// occupancy delays computation (and computation delays handlers); in dual-cpu
+// mode they use separate resources.
+#pragma once
+
+#include "src/sim/time.h"
+#include "src/util/assert.h"
+
+namespace fgdsm::sim {
+
+class Resource {
+ public:
+  Time available() const { return available_; }
+
+  // Declare the resource busy through t (no-op if already later).
+  void set_available(Time t) {
+    if (t > available_) available_ = t;
+  }
+
+  // Occupy the resource for `duration` starting no earlier than `earliest`.
+  // Returns the completion time.
+  Time acquire(Time earliest, Time duration) {
+    FGDSM_DCHECK(duration >= 0);
+    const Time start = earliest > available_ ? earliest : available_;
+    available_ = start + duration;
+    return available_;
+  }
+
+  void reset() { available_ = 0; }
+
+ private:
+  Time available_ = 0;
+};
+
+}  // namespace fgdsm::sim

@@ -1,0 +1,172 @@
+#include "src/sim/task.h"
+
+#include <utility>
+
+#include "src/util/assert.h"
+
+namespace fgdsm::sim {
+
+namespace {
+// Hand-off slot for fiber entry: makecontext cannot portably pass pointers,
+// and the simulator is single-threaded by construction.
+Task* g_entering_task = nullptr;
+constexpr std::size_t kStackBytes = 512 * 1024;
+}  // namespace
+
+Task::Task(Engine& engine, std::string name, std::function<void(Task&)> body)
+    : engine_(engine),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      stack_(kStackBytes) {
+  engine_.register_task(this);
+}
+
+Task::~Task() {
+  if (started_ && state_ != State::kFinished && state_ != State::kNotStarted) {
+    // Unwind the fiber: resuming with cancel_ set makes the next yield
+    // point throw Cancelled, which run_body() absorbs.
+    cancel_ = true;
+    resume_for_engine();
+    FGDSM_ASSERT(state_ == State::kFinished);
+  }
+  engine_.unregister_task(this);
+}
+
+void Task::start(Time t) {
+  FGDSM_ASSERT_MSG(!started_, "task " << name_ << " started twice");
+  started_ = true;
+  clock_ = t;
+  state_ = State::kReady;
+  engine_.schedule_task_resume(t, [this] { resume_for_engine(); });
+}
+
+void Task::trampoline_entry() {
+  Task* self = g_entering_task;
+  g_entering_task = nullptr;
+  self->run_body();
+  // Falling off the trampoline resumes uc_link (the engine context saved by
+  // the final swap into this fiber).
+}
+
+void Task::run_body() {
+  if (!cancel_) {
+    try {
+      body_(*this);
+    } catch (const Cancelled&) {
+      // Unwound by ~Task; nothing to record.
+    } catch (...) {
+      exception_ = std::current_exception();
+    }
+  }
+  state_ = State::kFinished;
+}
+
+void Task::resume_for_engine() {
+  if (state_ == State::kFinished) return;
+  FGDSM_ASSERT_MSG(state_ != State::kNotStarted || started_,
+                   "resume before start");
+  if (state_ == State::kBlocked && pending_wake_time_ > clock_)
+    clock_ = pending_wake_time_;
+  const bool first = state_ == State::kReady && fiber_.uc_stack.ss_sp == nullptr;
+  state_ = State::kRunning;
+  if (first) {
+    getcontext(&fiber_);
+    fiber_.uc_stack.ss_sp = stack_.data();
+    fiber_.uc_stack.ss_size = stack_.size();
+    fiber_.uc_link = &engine_ctx_;
+    makecontext(&fiber_, &Task::trampoline_entry, 0);
+    g_entering_task = this;
+  }
+  swapcontext(&engine_ctx_, &fiber_);
+  if (exception_) {
+    std::exception_ptr e = exception_;
+    exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Task::switch_to_engine() {
+  swapcontext(&fiber_, &engine_ctx_);
+  // Resumed by the engine.
+  if (cancel_) throw Cancelled{};
+  state_ = State::kRunning;
+}
+
+void Task::absorb_cpu_steal() {
+  if (cpu_ != nullptr && cpu_->available() > clock_) {
+    if (steal_counter_ != nullptr)
+      *steal_counter_ += cpu_->available() - clock_;
+    clock_ = cpu_->available();
+  }
+}
+
+void Task::yield_here() {
+  state_ = State::kReady;
+  engine_.schedule_task_resume(clock_, [this] { resume_for_engine(); });
+  switch_to_engine();
+  absorb_cpu_steal();
+}
+
+void Task::yield_blocked() {
+  state_ = State::kBlocked;
+  switch_to_engine();
+  absorb_cpu_steal();
+}
+
+Time Task::advance_limit() const {
+  // We may never pass a pending ordinary event (its handler can mutate state
+  // we observe), and may run ahead of another task's pending resume only by
+  // strictly less than the engine lookahead (that task's future actions
+  // cannot affect us sooner than resume + lookahead).
+  const Time ev = engine_.next_event_time();
+  const Time rs = engine_.next_resume_time();
+  const Time rs_limit = rs >= kTimeInfinity - engine_.lookahead()
+                            ? kTimeInfinity
+                            : rs + engine_.lookahead() - 1;
+  return ev < rs_limit ? ev : rs_limit;
+}
+
+void Task::charge(Time dt) {
+  FGDSM_DCHECK(dt >= 0);
+  Time remaining = dt;
+  for (;;) {
+    const Time limit = advance_limit();
+    if (limit > clock_) {
+      const Time gap = limit == kTimeInfinity ? remaining : limit - clock_;
+      const Time slice = remaining < gap ? remaining : gap;
+      clock_ += slice;
+      remaining -= slice;
+      if (cpu_ != nullptr) cpu_->set_available(clock_);
+      if (remaining == 0) return;
+    }
+    // An event is due, or a laggard task must catch up: let the engine run.
+    yield_here();
+  }
+}
+
+void Task::sync() {
+  // Process every ordinary event <= now, and let any task that could still
+  // produce such an event (pending resume <= now - lookahead) run first.
+  while (engine_.next_event_time() <= clock_ ||
+         engine_.next_resume_time() <= clock_ - engine_.lookahead())
+    yield_here();
+  if (cpu_ != nullptr) cpu_->set_available(clock_);
+}
+
+void Task::block() {
+  // Draining events that may already satisfy the caller's wait condition is
+  // the caller's job (Semaphore::wait does a sync() first). Here we just
+  // park.
+  pending_wake_time_ = clock_;
+  yield_blocked();
+}
+
+void Task::wake(Time t) {
+  // Called from engine/handler context. The task must be blocked or about
+  // to block; schedule a resume no earlier than t.
+  pending_wake_time_ = t > clock_ ? t : clock_;
+  engine_.schedule_task_resume(pending_wake_time_,
+                               [this] { resume_for_engine(); });
+}
+
+}  // namespace fgdsm::sim

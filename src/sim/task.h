@@ -1,0 +1,118 @@
+// A Task is a simulated thread of control (one per cluster node's compute
+// processor) with its own virtual clock.
+//
+// Implementation: each Task runs its body on a ucontext fiber. Exactly one
+// of {engine, one task} executes at any host instant (single host thread),
+// so the whole simulation is deterministic and data-race-free by
+// construction, and a baton pass costs a userspace swapcontext (~1 us)
+// rather than a kernel context switch — essential on small hosts, where a
+// full experiment run performs millions of switches.
+//
+// Clock discipline: a running task's clock only moves forward through
+// charge(), and charge() yields to the engine whenever the advance would
+// cross a pending event's timestamp. Hence protocol message handlers always
+// observe and mutate state in correct virtual-time order relative to the
+// compute code, which is what makes access-control checks meaningful.
+#pragma once
+
+#include <ucontext.h>
+
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/time.h"
+
+namespace fgdsm::sim {
+
+class Task {
+ public:
+  // `body` runs on the task's fiber once start() is scheduled.
+  Task(Engine& engine, std::string name, std::function<void(Task&)> body);
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task();
+
+  // Schedule the task's first activation at virtual time t.
+  void start(Time t = 0);
+
+  // ---- Callable only from inside the task body ----
+
+  Time now() const { return clock_; }
+
+  // Advance this task's clock by dt of useful work, interleaving correctly
+  // with pending engine events (and with handler occupancy of cpu()).
+  void charge(Time dt);
+
+  // Process every pending event with timestamp <= now(). Call before
+  // inspecting any state that message handlers may mutate.
+  void sync();
+
+  // Block until wake() is called; clock becomes max(now, wake time,
+  // cpu()->available()). Used by Semaphore/Barrier; most code should use
+  // those instead.
+  void block();
+
+  // ---- Callable from engine/handler context ----
+
+  // Wake a blocked task; it resumes no earlier than virtual time t.
+  void wake(Time t);
+
+  // ---- Configuration / inspection ----
+
+  // The resource representing this task's processor. Handlers that share the
+  // processor (single-cpu mode) acquire the same resource; the jump the task
+  // observes on resume is recorded into *steal_counter (if set).
+  void set_cpu(Resource* cpu) { cpu_ = cpu; }
+  Resource* cpu() const { return cpu_; }
+  void set_steal_counter(std::int64_t* c) { steal_counter_ = c; }
+
+  bool finished() const { return state_ == State::kFinished; }
+  bool blocked() const { return state_ == State::kBlocked; }
+  const std::string& name() const { return name_; }
+  Engine& engine() { return engine_; }
+
+  // Engine internals.
+  void resume_for_engine();  // run until the task yields/blocks/finishes
+
+ private:
+  enum class State : std::uint8_t { kNotStarted, kReady, kRunning, kBlocked,
+                                    kFinished };
+
+  struct Cancelled {};  // thrown into the body to unwind on destruction
+
+  static void trampoline_entry();
+  void run_body();
+  // Give the baton to the engine with a resume event at now(); returns when
+  // the engine hands it back.
+  void yield_here();
+  // Give the baton to the engine with no resume scheduled; wake() resumes.
+  void yield_blocked();
+  void switch_to_engine();
+  void absorb_cpu_steal();
+  // Highest clock value this task may currently advance to (pending events
+  // and other tasks' resumes + lookahead).
+  Time advance_limit() const;
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void(Task&)> body_;
+  Time clock_ = 0;
+  Resource* cpu_ = nullptr;
+  std::int64_t* steal_counter_ = nullptr;
+
+  State state_ = State::kNotStarted;
+  bool cancel_ = false;
+  bool started_ = false;
+  Time pending_wake_time_ = 0;
+  std::exception_ptr exception_;
+
+  std::vector<char> stack_;
+  ucontext_t fiber_{};
+  ucontext_t engine_ctx_{};
+};
+
+}  // namespace fgdsm::sim

@@ -1,0 +1,24 @@
+// Virtual time for the cluster simulator. All simulated durations and
+// timestamps are integer nanoseconds, which keeps arithmetic exact and runs
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fgdsm::sim {
+
+using Time = std::int64_t;  // virtual nanoseconds
+
+inline constexpr Time kNs = 1;
+inline constexpr Time kUs = 1'000;
+inline constexpr Time kMs = 1'000'000;
+inline constexpr Time kSec = 1'000'000'000;
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+inline constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / 1e9;
+}
+inline constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace fgdsm::sim

@@ -1,0 +1,293 @@
+#include "src/tempest/cluster.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "src/tempest/protocol.h"
+#include "src/util/assert.h"
+
+namespace fgdsm::tempest {
+
+namespace {
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+}  // namespace
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg), net_(engine_, cfg_.costs, cfg.nnodes) {
+  cfg_.validate();
+  for (int i = 0; i < cfg_.nnodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(*this, i));
+    Node* n = nodes_.back().get();
+    net_.attach(i, [n](sim::Message&& m, sim::Time arrival) {
+      n->deliver(std::move(m), arrival);
+    });
+  }
+  // Lookahead: a lower bound on how quickly one node's compute task can
+  // affect another node — composing a message plus the wire latency.
+  engine_.set_lookahead(cfg_.costs.msg_send_overhead +
+                        cfg_.costs.wire_latency);
+  register_builtin_handlers();
+}
+
+Cluster::~Cluster() = default;
+
+GAddr Cluster::allocate(const std::string& name, std::size_t bytes) {
+  FGDSM_ASSERT_MSG(!ran_, "allocate after run");
+  const GAddr addr = round_up(segment_bytes_, cfg_.page_size);
+  regions_.emplace_back(name, addr);
+  segment_bytes_ = addr + round_up(bytes, cfg_.page_size);
+  return addr;
+}
+
+std::size_t Cluster::num_blocks() const {
+  return (segment_bytes_ + cfg_.block_size - 1) / cfg_.block_size;
+}
+
+void Cluster::register_handler(MsgType t, Handler h) {
+  handlers_[static_cast<std::size_t>(t)] = std::move(h);
+}
+
+const Cluster::Handler& Cluster::handler(MsgType t) const {
+  const Handler& h = handlers_[static_cast<std::size_t>(t)];
+  FGDSM_ASSERT_MSG(h, "no handler registered for message type "
+                          << static_cast<int>(t));
+  return h;
+}
+
+double Cluster::reduce_identity(int op) {
+  switch (static_cast<Node::ReduceOp>(op)) {
+    case Node::ReduceOp::kSum: return 0.0;
+    case Node::ReduceOp::kMax: return -std::numeric_limits<double>::infinity();
+    case Node::ReduceOp::kMin: return std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double Cluster::reduce_combine(int op, double a, double b) {
+  switch (static_cast<Node::ReduceOp>(op)) {
+    case Node::ReduceOp::kSum: return a + b;
+    case Node::ReduceOp::kMax: return std::max(a, b);
+    case Node::ReduceOp::kMin: return std::min(a, b);
+  }
+  return a;
+}
+
+void Cluster::tree_barrier_step(int node, sim::Time t, const SendFn& send) {
+  if (tree_self_arrived[static_cast<std::size_t>(node)] == 0 ||
+      tree_arrived[static_cast<std::size_t>(node)] != tree_nchildren(node))
+    return;
+  // Subtree complete: reset for the next round, then combine upward (or
+  // release downward at the root).
+  tree_self_arrived[static_cast<std::size_t>(node)] = 0;
+  tree_arrived[static_cast<std::size_t>(node)] = 0;
+  if (node == 0) {
+    for (int c : {1, 2}) {
+      if (c >= cfg_.nnodes) continue;
+      sim::Message rel;
+      rel.dst = c;
+      rel.type = static_cast<std::uint16_t>(MsgType::kBarrierRelease);
+      send(std::move(rel));
+    }
+    nodes_[0]->barrier_sem.post(t);
+  } else {
+    sim::Message up;
+    up.dst = tree_parent(node);
+    up.type = static_cast<std::uint16_t>(MsgType::kBarrierArrive);
+    send(std::move(up));
+  }
+}
+
+void Cluster::tree_reduce_step(int node, sim::Time t, const SendFn& send) {
+  if (tree_red_self[static_cast<std::size_t>(node)] == 0 ||
+      tree_red_arrived[static_cast<std::size_t>(node)] != tree_nchildren(node))
+    return;
+  tree_red_self[static_cast<std::size_t>(node)] = 0;
+  tree_red_arrived[static_cast<std::size_t>(node)] = 0;
+  const double partial = tree_partial[static_cast<std::size_t>(node)];
+  if (node == 0) {
+    nodes_[0]->reduce_result = partial;
+    for (int c : {1, 2}) {
+      if (c >= cfg_.nnodes) continue;
+      sim::Message down;
+      down.dst = c;
+      down.type = static_cast<std::uint16_t>(MsgType::kReduceDown);
+      down.arg[0] = std::bit_cast<std::int64_t>(partial);
+      send(std::move(down));
+    }
+    nodes_[0]->reduce_sem.post(t);
+  } else {
+    sim::Message up;
+    up.dst = tree_parent(node);
+    up.type = static_cast<std::uint16_t>(MsgType::kReduceUp);
+    up.arg[0] = std::bit_cast<std::int64_t>(partial);
+    up.arg[1] = tree_red_op;
+    send(std::move(up));
+  }
+}
+
+void Cluster::register_builtin_handlers() {
+  if (cfg_.tree_collectives) {
+    register_tree_handlers();
+    return;
+  }
+  // Centralized barrier: node 0 counts arrivals and broadcasts the release.
+  // The linear broadcast occupies node 0's protocol processor and transmit
+  // path serially — barrier cost grows with cluster size, as on the real
+  // platform.
+  register_handler(
+      MsgType::kBarrierArrive,
+      [this](Node& self, sim::Message&, HandlerClock& clk) {
+        FGDSM_ASSERT(self.id() == 0);
+        if (++barrier_state.arrived == cfg_.nnodes) {
+          barrier_state.arrived = 0;
+          for (int i = 0; i < cfg_.nnodes; ++i) {
+            sim::Message rel;
+            rel.dst = i;
+            rel.type = static_cast<std::uint16_t>(MsgType::kBarrierRelease);
+            self.send_from_handler(clk, std::move(rel));
+          }
+        }
+      });
+  register_handler(MsgType::kBarrierRelease,
+                   [](Node& self, sim::Message&, HandlerClock& clk) {
+                     self.barrier_sem.post(clk.t);
+                   });
+
+  register_handler(
+      MsgType::kReduceUp,
+      [this](Node& self, sim::Message& m, HandlerClock& clk) {
+        FGDSM_ASSERT(self.id() == 0);
+        const double v = std::bit_cast<double>(m.arg[0]);
+        const int op = static_cast<int>(m.arg[1]);
+        if (reduce_state.arrived == 0) {
+          reduce_state.op = op;
+          reduce_state.contrib.assign(
+              static_cast<std::size_t>(cfg_.nnodes), 0.0);
+        } else {
+          FGDSM_ASSERT_MSG(reduce_state.op == op,
+                           "mismatched reduction ops across nodes");
+        }
+        reduce_state.contrib[static_cast<std::size_t>(m.src)] = v;
+        if (++reduce_state.arrived == cfg_.nnodes) {
+          reduce_state.arrived = 0;
+          double acc = reduce_state.contrib[0];
+          for (int i = 1; i < cfg_.nnodes; ++i) {
+            const double c = reduce_state.contrib[static_cast<std::size_t>(i)];
+            switch (static_cast<Node::ReduceOp>(op)) {
+              case Node::ReduceOp::kSum: acc += c; break;
+              case Node::ReduceOp::kMax: acc = std::max(acc, c); break;
+              case Node::ReduceOp::kMin: acc = std::min(acc, c); break;
+            }
+          }
+          for (int i = 0; i < cfg_.nnodes; ++i) {
+            sim::Message down;
+            down.dst = i;
+            down.type = static_cast<std::uint16_t>(MsgType::kReduceDown);
+            down.arg[0] = std::bit_cast<std::int64_t>(acc);
+            self.send_from_handler(clk, std::move(down));
+          }
+        }
+      });
+  register_handler(MsgType::kReduceDown,
+                   [](Node& self, sim::Message& m, HandlerClock& clk) {
+                     self.reduce_result = std::bit_cast<double>(m.arg[0]);
+                     self.reduce_sem.post(clk.t);
+                   });
+}
+
+void Cluster::register_tree_handlers() {
+  tree_arrived.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
+  tree_self_arrived.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
+  tree_partial.assign(static_cast<std::size_t>(cfg_.nnodes), 0.0);
+  tree_red_arrived.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
+  tree_red_self.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
+
+  register_handler(MsgType::kBarrierArrive,
+                   [this](Node& self, sim::Message&, HandlerClock& clk) {
+                     ++tree_arrived[static_cast<std::size_t>(self.id())];
+                     tree_barrier_step(self.id(), clk.t,
+                                       [&](sim::Message m) {
+                                         self.send_from_handler(clk,
+                                                                std::move(m));
+                                       });
+                   });
+  register_handler(
+      MsgType::kBarrierRelease,
+      [this](Node& self, sim::Message&, HandlerClock& clk) {
+        // Forward down the tree, then release the local task.
+        for (int c : {2 * self.id() + 1, 2 * self.id() + 2}) {
+          if (c >= cfg_.nnodes) continue;
+          sim::Message rel;
+          rel.dst = c;
+          rel.type = static_cast<std::uint16_t>(MsgType::kBarrierRelease);
+          self.send_from_handler(clk, std::move(rel));
+        }
+        self.barrier_sem.post(clk.t);
+      });
+  register_handler(
+      MsgType::kReduceUp,
+      [this](Node& self, sim::Message& m, HandlerClock& clk) {
+        const std::size_t id = static_cast<std::size_t>(self.id());
+        tree_red_op = static_cast<int>(m.arg[1]);
+        if (tree_red_arrived[id] == 0 && tree_red_self[id] == 0)
+          tree_partial[id] = reduce_identity(tree_red_op);
+        tree_partial[id] = reduce_combine(
+            tree_red_op, tree_partial[id], std::bit_cast<double>(m.arg[0]));
+        ++tree_red_arrived[id];
+        tree_reduce_step(self.id(), clk.t, [&](sim::Message msg) {
+          self.send_from_handler(clk, std::move(msg));
+        });
+      });
+  register_handler(
+      MsgType::kReduceDown,
+      [this](Node& self, sim::Message& m, HandlerClock& clk) {
+        for (int c : {2 * self.id() + 1, 2 * self.id() + 2}) {
+          if (c >= cfg_.nnodes) continue;
+          sim::Message down;
+          down.dst = c;
+          down.type = static_cast<std::uint16_t>(MsgType::kReduceDown);
+          down.arg[0] = m.arg[0];
+          self.send_from_handler(clk, std::move(down));
+        }
+        self.reduce_result = std::bit_cast<double>(m.arg[0]);
+        self.reduce_sem.post(clk.t);
+      });
+}
+
+util::RunStats Cluster::run(
+    const std::function<void(Node&, sim::Task&)>& program) {
+  FGDSM_ASSERT_MSG(!ran_, "Cluster::run is one-shot");
+  ran_ = true;
+  const std::size_t seg = std::max<std::size_t>(segment_bytes_, cfg_.page_size);
+  for (auto& n : nodes_)
+    n->finalize_memory(seg, num_blocks(), cfg_.dual_cpu);
+
+  std::vector<std::unique_ptr<sim::Task>> tasks;
+  tasks.reserve(nodes_.size());
+  for (int i = 0; i < cfg_.nnodes; ++i) {
+    Node* n = nodes_[static_cast<std::size_t>(i)].get();
+    tasks.push_back(std::make_unique<sim::Task>(
+        engine_, "node" + std::to_string(i),
+        [n, &program](sim::Task& t) { program(*n, t); }));
+    sim::Task* t = tasks.back().get();
+    t->set_cpu(&n->cpu_res());
+    t->set_steal_counter(&n->stats.handler_steal_ns);
+    n->bind_task(t);
+    t->start(0);
+  }
+  engine_.run();
+
+  util::RunStats rs(cfg_.nnodes);
+  rs.elapsed_ns = 0;
+  for (int i = 0; i < cfg_.nnodes; ++i) {
+    rs.node[static_cast<std::size_t>(i)] = nodes_[static_cast<std::size_t>(i)]->stats;
+    rs.elapsed_ns = std::max(rs.elapsed_ns, tasks[static_cast<std::size_t>(i)]->now());
+    nodes_[static_cast<std::size_t>(i)]->bind_task(nullptr);
+  }
+  return rs;
+}
+
+}  // namespace fgdsm::tempest

@@ -1,0 +1,120 @@
+// The simulated cluster: engine + network + nodes + the global shared
+// segment layout, plus the handler dispatch table and the coordinator state
+// for barriers and reductions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/network.h"
+#include "src/tempest/config.h"
+#include "src/tempest/node.h"
+#include "src/tempest/types.h"
+#include "src/util/stats.h"
+
+namespace fgdsm::tempest {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  ~Cluster();
+
+  // ---- Segment layout (before run) ----
+  // Allocate a named region of the global shared segment; the returned
+  // address is page-aligned so arrays start on block boundaries.
+  GAddr allocate(const std::string& name, std::size_t bytes);
+  std::size_t segment_bytes() const { return segment_bytes_; }
+
+  // ---- Geometry ----
+  int nnodes() const { return cfg_.nnodes; }
+  std::size_t block_size() const { return cfg_.block_size; }
+  std::size_t words_per_block() const { return cfg_.block_size / 8; }
+  BlockId block_of(GAddr a) const { return a / cfg_.block_size; }
+  GAddr block_addr(BlockId b) const { return b * cfg_.block_size; }
+  std::size_t num_blocks() const;
+  // Home node: pages are assigned round-robin, as in a system that maps the
+  // shared segment across the cluster (owner in the HPF sense is usually a
+  // different node — the paper leans on this distinction in §4.2).
+  int home_of(BlockId b) const {
+    return static_cast<int>((block_addr(b) / cfg_.page_size) %
+                            static_cast<std::size_t>(cfg_.nnodes));
+  }
+
+  // ---- Handler dispatch ----
+  using Handler = std::function<void(Node&, sim::Message&, HandlerClock&)>;
+  void register_handler(MsgType t, Handler h);
+  const Handler& handler(MsgType t) const;
+
+  // ---- Execution ----
+  // Run `program` as one compute task per node. One-shot per Cluster.
+  // Returns per-node statistics and the elapsed virtual time.
+  util::RunStats run(
+      const std::function<void(Node&, sim::Task&)>& program);
+
+  sim::Engine& engine() { return engine_; }
+  sim::Network& network() { return net_; }
+  const ClusterConfig& config() const { return cfg_; }
+  const sim::CostModel& costs() const { return cfg_.costs; }
+  Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+
+  // ---- Coordinator state ----
+  // Centralized: node 0 counts arrivals. Tree: every node counts arrivals
+  // from its children (binomial tree rooted at 0); the release flows back
+  // down the same tree.
+  struct BarrierState {
+    int arrived = 0;
+  } barrier_state;
+  std::vector<int> tree_arrived;        // per node: children heard this round
+  std::vector<char> tree_self_arrived;  // per node: own arrival this round
+  std::vector<double> tree_partial;     // per node: partial reduction value
+  std::vector<int> tree_red_arrived;    // reduction children heard
+  std::vector<char> tree_red_self;      // own contribution made
+  int tree_red_op = 0;
+
+  // Tree helpers (binary tree rooted at node 0).
+  int tree_parent(int node) const { return (node - 1) / 2; }
+  int tree_nchildren(int node) const {
+    int c = 0;
+    if (2 * node + 1 < cfg_.nnodes) ++c;
+    if (2 * node + 2 < cfg_.nnodes) ++c;
+    return c;
+  }
+  // Barrier/reduction tree steps shared by task- and handler-context
+  // arrivals; `send` abstracts who pays the injection cost.
+  using SendFn = std::function<void(sim::Message)>;
+  void tree_barrier_step(int node, sim::Time t, const SendFn& send);
+  void tree_reduce_step(int node, sim::Time t, const SendFn& send);
+  static double reduce_identity(int op);
+  static double reduce_combine(int op, double a, double b);
+  // Contributions are folded in node-id order once all have arrived, so a
+  // reduction's floating-point result depends only on the values and the
+  // node count — not on message timing (results are comparable across
+  // modes and optimization levels).
+  struct ReduceState {
+    int arrived = 0;
+    int op = 0;
+    std::vector<double> contrib;
+  } reduce_state;
+
+ private:
+  void register_builtin_handlers();
+  void register_tree_handlers();
+
+  ClusterConfig cfg_;
+  sim::Engine engine_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::array<Handler, static_cast<std::size_t>(MsgType::kCount)> handlers_;
+  std::size_t segment_bytes_ = 0;
+  std::vector<std::pair<std::string, GAddr>> regions_;
+  bool ran_ = false;
+};
+
+}  // namespace fgdsm::tempest

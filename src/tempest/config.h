@@ -1,0 +1,33 @@
+// Cluster configuration — the experimental platform knobs of the paper's
+// Section 5 (Table 1) plus block/page geometry.
+#pragma once
+
+#include <cstddef>
+
+#include "src/sim/cost_model.h"
+#include "src/util/assert.h"
+
+namespace fgdsm::tempest {
+
+struct ClusterConfig {
+  int nnodes = 8;            // the paper's 8-node SS20 cluster
+  std::size_t block_size = 128;   // Tempest fine-grain unit (32–128 bytes)
+  std::size_t page_size = 4096;   // home assignment granularity
+  bool dual_cpu = true;      // dedicated protocol processor vs interleaved
+  // Collectives topology: false = the platform's centralized coordinator
+  // (node 0 counts arrivals and linearly broadcasts releases — the paper's
+  // cluster); true = binomial-tree barriers/reductions (an ablation for the
+  // synchronization-bound applications).
+  bool tree_collectives = false;
+  sim::CostModel costs;
+
+  void validate() const {
+    FGDSM_ASSERT(nnodes >= 1);
+    FGDSM_ASSERT_MSG((block_size & (block_size - 1)) == 0 && block_size >= 8,
+                     "block size must be a power of two >= 8");
+    FGDSM_ASSERT_MSG(page_size % block_size == 0,
+                     "page size must be a multiple of block size");
+  }
+};
+
+}  // namespace fgdsm::tempest

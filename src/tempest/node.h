@@ -1,0 +1,131 @@
+// One cluster node: a full backing copy of the global shared segment,
+// per-block fine-grain access tags, compute + protocol resources, and the
+// active-message plumbing. This is the Tempest substrate a coherence
+// protocol (src/proto) and the compiler-directed runtime (src/core) build on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/resource.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/tempest/types.h"
+#include "src/util/stats.h"
+
+namespace fgdsm::tempest {
+
+class Cluster;
+class Protocol;
+
+class Node {
+ public:
+  Node(Cluster& cluster, int id);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  Cluster& cluster() { return cluster_; }
+
+  // ---- Memory and fine-grain access control ----
+
+  // Raw pointer into this node's backing of the shared segment. Valid after
+  // the cluster finalizes allocation (Cluster::run).
+  std::byte* mem(GAddr a);
+  const std::byte* mem(GAddr a) const;
+  template <typename T>
+  T* ptr(GAddr a) {
+    return reinterpret_cast<T*>(mem(a));
+  }
+
+  Access access(BlockId b) const { return tags_[b]; }
+  void set_access(BlockId b, Access a) { tags_[b] = a; }
+
+  // ---- Compiled-in access checks (task context) ----
+  // The executor performs these at block granularity over each loop chunk's
+  // footprint — the check itself is free (hardware-accelerated access
+  // control, §5); only faults enter protocol software. Stall time is
+  // recorded into stats.miss_ns.
+  void ensure_readable(sim::Task& task, GAddr addr, std::size_t len);
+  void ensure_writable(sim::Task& task, GAddr addr, std::size_t len);
+  // Validate a whole loop chunk's footprint at once: every read range
+  // non-Invalid AND every write range ReadWrite, simultaneously, in one
+  // yield-free pass. This is required for correctness, not just speed: a
+  // block validated early can be recalled while a later range's fault
+  // stalls, and the chunk body must not store through a stale tag.
+  struct Extent {
+    GAddr addr;
+    std::size_t len;
+  };
+  void ensure_chunk(sim::Task& task, const std::vector<Extent>& reads,
+                    const std::vector<Extent>& writes);
+  // Tell the protocol which words were stored to (needed only while an
+  // eager ownership upgrade is in flight; see proto/stache).
+  void note_writes(GAddr addr, std::size_t len);
+
+  // ---- Messaging ----
+  // Task context: charges the task the message-composition overhead, then
+  // injects. Handler context: charges the handler clock instead.
+  void send(sim::Task& task, sim::Message m);
+  void send_from_handler(HandlerClock& clk, sim::Message m);
+  // Delivery entry (installed as the network sink). Messages are queued in
+  // an inbox and their handlers *execute* as engine events at the time the
+  // protocol resource actually becomes free — not at delivery. This keeps
+  // handler side effects ordered in virtual time against compute-task code
+  // (a task never observes a state change whose handler starts later than
+  // the task's clock). Handlers for one node run strictly serialized.
+  void deliver(sim::Message&& m, sim::Time arrival);
+
+  // ---- Synchronization (task context) ----
+  void barrier(sim::Task& task);
+  enum class ReduceOp { kSum, kMax, kMin };
+  double allreduce(sim::Task& task, double v, ReduceOp op = ReduceOp::kSum);
+
+  // ---- Plumbing ----
+  sim::Resource& cpu_res() { return cpu_res_; }
+  // The resource protocol handlers occupy: the dedicated protocol processor
+  // (dual-cpu) or the compute processor itself (single-cpu).
+  sim::Resource& proto_res() { return dual_cpu_ ? proto_res_ : cpu_res_; }
+  sim::Task* task() { return task_; }
+
+  Protocol* protocol = nullptr;
+  util::NodeStats stats;
+
+  // Semaphores protocol/runtime layers wait on (one waiter each: this
+  // node's compute task).
+  sim::Semaphore barrier_sem;
+  sim::Semaphore reduce_sem;
+  sim::Semaphore recv_sem;   // compiler-directed ready_to_recv (data blocks)
+  sim::Semaphore drain_sem;  // outstanding-transaction drain
+  double reduce_result = 0.0;
+
+  // Internal wiring (Cluster only).
+  void finalize_memory(std::size_t segment_bytes, std::size_t nblocks,
+                       bool dual_cpu);
+  void bind_task(sim::Task* t);
+
+ private:
+  struct PendingMsg {
+    sim::Message msg;
+    sim::Time arrival;
+  };
+  void schedule_next_handler(sim::Time earliest);
+  void execute_one_handler();
+
+  Cluster& cluster_;
+  int id_;
+  bool dual_cpu_ = true;
+  std::vector<std::byte> mem_;
+  std::vector<Access> tags_;
+  sim::Resource cpu_res_;
+  sim::Resource proto_res_;
+  sim::Task* task_ = nullptr;
+  std::deque<PendingMsg> inbox_;
+  bool handler_active_ = false;
+};
+
+}  // namespace fgdsm::tempest

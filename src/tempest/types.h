@@ -1,0 +1,76 @@
+// Core types of the Tempest-like fine-grain DSM substrate.
+//
+// The shared segment is a single global byte-addressed space; every node
+// backs the whole segment in its own main memory ("software-managed remote
+// data in main memory — there is no replacement from this cache", paper
+// §4.2 fn. 1). Fine-grain access control attaches one of
+// {Invalid, ReadOnly, ReadWrite} to each block (32–128 bytes).
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace fgdsm::tempest {
+
+using GAddr = std::uint64_t;    // byte offset into the global shared segment
+using BlockId = std::uint64_t;  // GAddr / block_size
+
+// Fine-grain access-control tag for one block on one node.
+enum class Access : std::uint8_t { kInvalid = 0, kReadOnly = 1,
+                                   kReadWrite = 2 };
+
+inline const char* to_string(Access a) {
+  switch (a) {
+    case Access::kInvalid: return "invalid";
+    case Access::kReadOnly: return "readonly";
+    case Access::kReadWrite: return "readwrite";
+  }
+  return "?";
+}
+
+// Active-message types. One flat space so a single dispatch table serves the
+// default protocol, the compiler-controlled extensions, the message-passing
+// backend and synchronization.
+enum class MsgType : std::uint16_t {
+  // Default coherence protocol — exactly the messages of the paper's Fig. 1.
+  kReadReq = 0,      // 1. reader -> home
+  kPutDataReq,       // 2. home -> exclusive owner
+  kPutDataResp,      // 3. owner -> home (carries block data)
+  kReadResp,         // 4. home -> reader (carries block data)
+  kWriteReq,         // 5. writer -> home
+  kInval,            // 6. home -> sharer/owner
+  kInvalAck,         // 7. sharer -> home (carries dirty words if any)
+  kWriteGrant,       // 8. home -> writer
+
+  // Pipelined fetch-exclusive (data + ownership in one transaction), used by
+  // the compiler's mk_writable when the HPF owner does not hold a block.
+  kFetchExclReq,     // requester -> home
+  kFetchExclResp,    // home -> requester (carries block data)
+
+  // Compiler-controlled coherence (the paper's §4.2 contract).
+  kDirectData,       // owner -> reader: specially tagged sender-initiated data
+  kCccFlush,         // non-owner writer -> owner: flush changes back
+
+  // Message-passing backend.
+  kMpData,
+
+  // Synchronization.
+  kBarrierArrive,
+  kBarrierRelease,
+  kReduceUp,
+  kReduceDown,
+
+  kCount
+};
+
+// Virtual clock of an active-message handler while it executes. Handlers are
+// run-to-completion user-level code (Tempest's model); their occupancy lands
+// on the node's protocol resource (dual-cpu: the dedicated second processor;
+// single-cpu: the compute processor itself, delaying computation).
+struct HandlerClock {
+  sim::Time t = 0;
+  void charge(sim::Time d) { t += d; }
+};
+
+}  // namespace fgdsm::tempest

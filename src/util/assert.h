@@ -1,0 +1,54 @@
+// Invariant checking for the fgdsm libraries.
+//
+// FGDSM_ASSERT is always on (including release builds): the simulator's value
+// comes from its internal consistency, and the cost of the checks is dwarfed
+// by event-queue overhead. FGDSM_DCHECK compiles out in NDEBUG builds and is
+// meant for hot-path checks (per-block access tests).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fgdsm {
+
+// Thrown on any violated invariant; carries the failing expression and
+// location so tests can assert on failures without aborting the process.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FGDSM_ASSERT failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace fgdsm
+
+#define FGDSM_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::fgdsm::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define FGDSM_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream fgdsm_os_;                                     \
+      fgdsm_os_ << msg;                                                 \
+      ::fgdsm::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                   fgdsm_os_.str());                    \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define FGDSM_DCHECK(expr) ((void)0)
+#else
+#define FGDSM_DCHECK(expr) FGDSM_ASSERT(expr)
+#endif

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Logging is off by default (simulation runs are the
+// product; logs are a debugging aid) and enabled per-category via
+// util::Log::enable() or the FGDSM_LOG environment variable
+// (comma-separated category names, or "all").
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace fgdsm::util {
+
+class Log {
+ public:
+  static Log& instance();
+
+  void enable(const std::string& category);
+  void disable(const std::string& category);
+  bool enabled(const std::string& category) const;
+
+  void write(const std::string& category, const std::string& msg);
+
+ private:
+  Log();
+  mutable std::mutex mu_;
+  std::set<std::string> categories_;
+  bool all_ = false;
+};
+
+}  // namespace fgdsm::util
+
+// Usage: FGDSM_LOG("proto", "node " << n << " read fault @" << addr);
+#define FGDSM_LOG(category, expr)                                  \
+  do {                                                             \
+    if (::fgdsm::util::Log::instance().enabled(category)) {        \
+      std::ostringstream fgdsm_log_os_;                            \
+      fgdsm_log_os_ << expr;                                       \
+      ::fgdsm::util::Log::instance().write(category,               \
+                                           fgdsm_log_os_.str());   \
+    }                                                              \
+  } while (0)

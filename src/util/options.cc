@@ -1,0 +1,53 @@
+#include "src/util/options.h"
+
+#include <cstdlib>
+
+namespace fgdsm::util {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos)
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    else
+      values_[arg] = "1";  // bare flag == boolean true
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name,
+                              std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace fgdsm::util

@@ -1,0 +1,85 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/assert.h"
+
+namespace fgdsm::util {
+
+NodeStats& NodeStats::operator+=(const NodeStats& o) {
+  read_misses += o.read_misses;
+  write_misses += o.write_misses;
+  invalidations_received += o.invalidations_received;
+  ccc_blocks_sent += o.ccc_blocks_sent;
+  ccc_messages_sent += o.ccc_messages_sent;
+  ccc_runtime_calls += o.ccc_runtime_calls;
+  ccc_calls_elided += o.ccc_calls_elided;
+  messages_sent += o.messages_sent;
+  bytes_sent += o.bytes_sent;
+  barriers += o.barriers;
+  reductions += o.reductions;
+  compute_ns += o.compute_ns;
+  miss_ns += o.miss_ns;
+  ccc_ns += o.ccc_ns;
+  sync_ns += o.sync_ns;
+  handler_steal_ns += o.handler_steal_ns;
+  return *this;
+}
+
+NodeStats RunStats::totals() const {
+  NodeStats t;
+  for (const auto& n : node) t += n;
+  return t;
+}
+
+double RunStats::avg_misses_per_node() const {
+  if (node.empty()) return 0.0;
+  return static_cast<double>(totals().total_misses()) /
+         static_cast<double>(node.size());
+}
+
+double RunStats::avg_comm_ns_per_node() const {
+  if (node.empty()) return 0.0;
+  return static_cast<double>(totals().comm_ns()) /
+         static_cast<double>(node.size());
+}
+
+double RunStats::avg_compute_ns_per_node() const {
+  if (node.empty()) return 0.0;
+  return static_cast<double>(totals().compute_ns) /
+         static_cast<double>(node.size());
+}
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double d = static_cast<double>(ns);
+  if (ns >= 1'000'000'000)
+    std::snprintf(buf, sizeof buf, "%.3f s", d / 1e9);
+  else if (ns >= 1'000'000)
+    std::snprintf(buf, sizeof buf, "%.2f ms", d / 1e6);
+  else if (ns >= 1'000)
+    std::snprintf(buf, sizeof buf, "%.2f us", d / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns));
+  return buf;
+}
+
+std::string format_count(std::uint64_t n) {
+  char buf[64];
+  const double d = static_cast<double>(n);
+  if (n >= 10'000'000)
+    std::snprintf(buf, sizeof buf, "%.1fM", d / 1e6);
+  else if (n >= 10'000)
+    std::snprintf(buf, sizeof buf, "%.1fK", d / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+double percent_reduction(double base, double opt) {
+  if (base <= 0.0) return 0.0;
+  return 100.0 * (base - opt) / base;
+}
+
+}  // namespace fgdsm::util

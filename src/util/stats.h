@@ -1,0 +1,72 @@
+// Per-node statistics counters for a simulation run.
+//
+// The counters mirror the quantities the paper reports in Table 3 and
+// Figures 3/4: miss counts, protocol messages, bytes moved, and the split of
+// each node's wall time into compute / communication (miss stalls + protocol
+// call time) / synchronization (barrier + reduction waits).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgdsm::util {
+
+// One node's counters. All times are virtual nanoseconds.
+struct NodeStats {
+  // Memory-system events (the default protocol path).
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;   // write faults (upgrade or fetch)
+  std::uint64_t invalidations_received = 0;
+
+  // Compiler-controlled coherence events.
+  std::uint64_t ccc_blocks_sent = 0;
+  std::uint64_t ccc_messages_sent = 0;     // direct-data messages (post-bulk)
+  std::uint64_t ccc_runtime_calls = 0;     // mk_writable/implicit_*/limits
+  std::uint64_t ccc_calls_elided = 0;      // removed by run-time overhead elim
+
+  // Network traffic (all causes).
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+
+  // Barriers/reductions participated in.
+  std::uint64_t barriers = 0;
+  std::uint64_t reductions = 0;
+
+  // Virtual-time breakdown of this node's execution.
+  std::int64_t compute_ns = 0;   // charged loop-body work + access checks
+  std::int64_t miss_ns = 0;      // stalled waiting for protocol misses
+  std::int64_t ccc_ns = 0;       // spent inside compiler-inserted calls
+  std::int64_t sync_ns = 0;      // waiting at barriers / reductions
+  std::int64_t handler_steal_ns = 0;  // single-cpu: handler occupancy observed
+
+  // "Communication time" in the paper's sense: everything that is not the
+  // loop-body computation.
+  std::int64_t comm_ns() const { return miss_ns + ccc_ns + sync_ns; }
+  std::uint64_t total_misses() const { return read_misses + write_misses; }
+
+  NodeStats& operator+=(const NodeStats& o);
+};
+
+// Whole-run statistics: one NodeStats per node plus run-level results.
+struct RunStats {
+  std::vector<NodeStats> node;
+  std::int64_t elapsed_ns = 0;  // max node finish time
+
+  explicit RunStats(int nnodes = 0) : node(nnodes) {}
+
+  NodeStats totals() const;
+  // Per-node averages, as the paper reports ("average number of misses
+  // per-node").
+  double avg_misses_per_node() const;
+  double avg_comm_ns_per_node() const;
+  double avg_compute_ns_per_node() const;
+};
+
+// Human-readable helpers.
+std::string format_ns(std::int64_t ns);       // "12.34 ms"
+std::string format_count(std::uint64_t n);    // "293.8K"
+double percent_reduction(double base, double opt);  // 100*(base-opt)/base
+
+}  // namespace fgdsm::util

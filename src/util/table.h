@@ -1,0 +1,32 @@
+// Plain-text table formatting for the benchmark harnesses, so each bench
+// binary can print rows shaped like the paper's tables/figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fgdsm::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Append a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: format doubles / ints into cells.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::uint64_t v);
+  static std::string percent(double v, int precision = 1);  // "42.0%"
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fgdsm::util

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/hpf/analysis.h"
+#include "src/hpf/ir.h"
+
+namespace fgdsm::hpf {
+namespace {
+
+// A jacobi-like program: u, v are n x n BLOCK-distributed on columns;
+// the loop computes v(i,j) = f(u(i,j), u(i±1,j), u(i,j±1)) for interior
+// points, owner-computes on v(:,j).
+Program jacobi_like(std::int64_t n) {
+  Program prog;
+  prog.name = "jacobi-like";
+  const AffineExpr N = AffineExpr::sym("n");
+  prog.arrays.push_back({"u", {N, N}, DistKind::kBlock});
+  prog.arrays.push_back({"v", {N, N}, DistKind::kBlock});
+  prog.sizes.set("n", n);
+
+  ParallelLoop loop;
+  loop.name = "sweep";
+  loop.dist = LoopVar{"j", AffineExpr(1), N - 2};
+  loop.free.push_back(LoopVar{"i", AffineExpr(1), N - 2});
+  loop.comp = ParallelLoop::Comp::kOwnerComputes;
+  loop.home_array = "v";
+  loop.home_sub = AffineExpr::sym("j");
+  const AffineExpr I = AffineExpr::sym("i"), J = AffineExpr::sym("j");
+  loop.reads = {{"u", {I, J}},
+                {"u", {I - 1, J}},
+                {"u", {I + 1, J}},
+                {"u", {I, J - 1}},
+                {"u", {I, J + 1}}};
+  loop.writes = {{"v", {I, J}}};
+  prog.phases.push_back(Phase::make(std::move(loop)));
+  return prog;
+}
+
+Bindings bind(const Program& p, int np, int self = 0) {
+  Bindings b = p.sizes;
+  b.set(kSymNProcs, np);
+  b.set(kSymProc, self);
+  return b;
+}
+
+TEST(Analysis, LocalItersOwnerComputes) {
+  Program prog = jacobi_like(16);
+  const auto& loop = *prog.phases[0].loop;
+  const Bindings b = bind(prog, 4);
+  // n=16, np=4: block size 4. Loop range is 1..14.
+  EXPECT_EQ(local_iters(loop, prog, b, 4, 0), (ConcreteInterval{1, 3, 1}));
+  EXPECT_EQ(local_iters(loop, prog, b, 1, 0),
+            (ConcreteInterval{1, 14, 1}));  // single processor runs it all
+  EXPECT_EQ(local_iters(loop, prog, b, 4, 1), (ConcreteInterval{4, 7, 1}));
+  EXPECT_EQ(local_iters(loop, prog, b, 4, 3), (ConcreteInterval{12, 14, 1}));
+}
+
+TEST(Analysis, LocalItersCoverLoopExactlyOnce) {
+  Program prog = jacobi_like(33);
+  const auto& loop = *prog.phases[0].loop;
+  for (int np : {1, 2, 3, 5, 8}) {
+    const Bindings b = bind(prog, np);
+    for (std::int64_t j = 1; j <= 31; ++j) {
+      int count = 0;
+      for (int p = 0; p < np; ++p)
+        if (local_iters(loop, prog, b, np, p).contains(j)) ++count;
+      EXPECT_EQ(count, 1) << "np=" << np << " j=" << j;
+    }
+  }
+}
+
+TEST(Analysis, LocalItersBlockByIndex) {
+  Program prog = jacobi_like(16);
+  ParallelLoop loop = *prog.phases[0].loop;
+  loop.comp = ParallelLoop::Comp::kBlockByIndex;
+  const Bindings b = bind(prog, 4);
+  // Range 1..14 (14 iters), block 4: [1,4],[5,8],[9,12],[13,14].
+  EXPECT_EQ(local_iters(loop, prog, b, 4, 0), (ConcreteInterval{1, 4, 1}));
+  EXPECT_EQ(local_iters(loop, prog, b, 4, 3), (ConcreteInterval{13, 14, 1}));
+}
+
+TEST(Analysis, RefSectionShifts) {
+  Program prog = jacobi_like(16);
+  const auto& loop = *prog.phases[0].loop;
+  const Bindings b = bind(prog, 4);
+  const ConcreteInterval iters{4, 7, 1};  // processor 1
+  // u(i, j-1) over j in 4..7, i in 1..14 -> rows 1..14, cols 3..6.
+  const ConcreteSection s =
+      ref_section(loop, loop.reads[3], prog, b, iters);
+  EXPECT_EQ(s.dims[0], (ConcreteInterval{1, 14, 1}));
+  EXPECT_EQ(s.dims[1], (ConcreteInterval{3, 6, 1}));
+}
+
+TEST(Analysis, JacobiGhostColumnTransfers) {
+  Program prog = jacobi_like(16);
+  const auto& loop = *prog.phases[0].loop;
+  const Bindings b = bind(prog, 4);
+  const auto transfers = analyze_transfers(loop, prog, b, 4);
+  // Interior processors receive one ghost column from each neighbor;
+  // boundary processors only from their single neighbor:
+  // p0 <- p1 (col 4), p1 <- p0 (col 3), p1 <- p2 (col 8), p2 <- p1 (col 7),
+  // p2 <- p3 (col 12), p3 <- p2 (col 11). Total 6 transfers, all reads.
+  EXPECT_EQ(transfers.size(), 6u);
+  auto find = [&](int snd, int rcv) -> const Transfer* {
+    for (const auto& t : transfers)
+      if (t.sender == snd && t.receiver == rcv) return &t;
+    return nullptr;
+  };
+  ASSERT_NE(find(1, 0), nullptr);
+  EXPECT_EQ(find(1, 0)->section.dims[1], (ConcreteInterval{4, 4, 1}));
+  ASSERT_NE(find(0, 1), nullptr);
+  EXPECT_EQ(find(0, 1)->section.dims[1], (ConcreteInterval{3, 3, 1}));
+  ASSERT_NE(find(2, 3), nullptr);
+  EXPECT_EQ(find(2, 3)->section.dims[1], (ConcreteInterval{11, 11, 1}));
+  EXPECT_EQ(find(3, 0), nullptr);  // no wraparound
+  EXPECT_EQ(find(0, 2), nullptr);  // only neighbors
+  for (const auto& t : transfers) {
+    EXPECT_FALSE(t.for_write);
+    EXPECT_EQ(t.array, "u");
+    EXPECT_EQ(t.section.dims[0], (ConcreteInterval{1, 14, 1}));
+  }
+}
+
+TEST(Analysis, NoTransfersWhenAligned) {
+  // v(i,j) = u(i,j): no communication at all.
+  Program prog = jacobi_like(16);
+  ParallelLoop loop = *prog.phases[0].loop;
+  const AffineExpr I = AffineExpr::sym("i"), J = AffineExpr::sym("j");
+  loop.reads = {{"u", {I, J}}, {"u", {I + 1, J}}, {"u", {I - 1, J}}};
+  const Bindings b = bind(prog, 4);
+  EXPECT_TRUE(analyze_transfers(loop, prog, b, 4).empty());
+}
+
+TEST(Analysis, SingleProcessorNeedsNoTransfers) {
+  Program prog = jacobi_like(16);
+  const auto& loop = *prog.phases[0].loop;
+  const Bindings b = bind(prog, 1);
+  EXPECT_TRUE(analyze_transfers(loop, prog, b, 1).empty());
+}
+
+TEST(Analysis, CyclicBroadcastPattern) {
+  // LU-style: every processor reads column k of a CYCLIC matrix; the owner
+  // of k must send to everyone else.
+  Program prog;
+  const AffineExpr N = AffineExpr::sym("n");
+  prog.arrays.push_back({"a", {N, N}, DistKind::kCyclic});
+  prog.sizes.set("n", 12);
+  ParallelLoop loop;
+  loop.name = "update";
+  loop.dist = LoopVar{"j", AffineExpr::sym("k") + 1, N - 1};
+  loop.free.push_back(LoopVar{"i", AffineExpr::sym("k") + 1, N - 1});
+  loop.comp = ParallelLoop::Comp::kOwnerComputes;
+  loop.home_array = "a";
+  loop.home_sub = AffineExpr::sym("j");
+  const AffineExpr I = AffineExpr::sym("i"), J = AffineExpr::sym("j");
+  loop.reads = {{"a", {I, J}}, {"a", {I, AffineExpr::sym("k")}}};
+  loop.writes = {{"a", {I, J}}};
+  Bindings b = prog.sizes;
+  b.set("k", 3);
+  b.set(kSymNProcs, 4);
+  const auto transfers = analyze_transfers(loop, prog, b, 4);
+  // Column 3 is owned by processor 3 (cyclic). Readers: every p with
+  // non-empty iterations whose sections include column 3 — p != 3.
+  int recvs = 0;
+  for (const auto& t : transfers) {
+    EXPECT_EQ(t.sender, 3);
+    EXPECT_EQ(t.section.dims[1], (ConcreteInterval{3, 3, 1}));
+    EXPECT_EQ(t.section.dims[0], (ConcreteInterval{4, 11, 1}));
+    ++recvs;
+  }
+  EXPECT_EQ(recvs, 3);
+}
+
+TEST(Analysis, NonOwnerWriteProducesWriteTransfer) {
+  // Computation distributed by index while data lives elsewhere: processor
+  // p writes columns it does not own.
+  Program prog = jacobi_like(16);
+  ParallelLoop loop = *prog.phases[0].loop;
+  loop.comp = ParallelLoop::Comp::kBlockByIndex;
+  const AffineExpr I = AffineExpr::sym("i"), J = AffineExpr::sym("j");
+  loop.reads = {{"u", {I, J}}};
+  loop.writes = {{"v", {I, AffineExpr::sym("j") + 1}}};  // shifted write
+  const Bindings b = bind(prog, 4);
+  const auto transfers = analyze_transfers(loop, prog, b, 4);
+  bool saw_write = false;
+  for (const auto& t : transfers)
+    if (t.for_write) {
+      saw_write = true;
+      EXPECT_EQ(t.array, "v");
+    }
+  EXPECT_TRUE(saw_write);
+}
+
+TEST(Analysis, TransfersClippedToArrayBounds) {
+  // Stencil sections reach outside the array at the global boundary; the
+  // analysis must clip them.
+  Program prog = jacobi_like(16);
+  ParallelLoop loop = *prog.phases[0].loop;
+  loop.dist = LoopVar{"j", AffineExpr(0), AffineExpr::sym("n") - 1};
+  const Bindings b = bind(prog, 4);
+  const auto transfers = analyze_transfers(loop, prog, b, 4);
+  for (const auto& t : transfers) {
+    EXPECT_GE(t.section.dims[1].lo, 0);
+    EXPECT_LE(t.section.dims[1].hi, 15);
+  }
+}
+
+TEST(Analysis, OverlappingRefsMergeToOneTransfer) {
+  // Two reads covering overlapping row ranges of the same ghost column must
+  // merge (hulled) rather than duplicate the transfer.
+  Program prog = jacobi_like(16);
+  ParallelLoop loop = *prog.phases[0].loop;
+  const AffineExpr I = AffineExpr::sym("i"), J = AffineExpr::sym("j");
+  loop.reads = {{"u", {I, J - 1}}, {"u", {I + 1, J - 1}}};
+  const Bindings b = bind(prog, 4);
+  const auto transfers = analyze_transfers(loop, prog, b, 4);
+  int p1_to_p2 = 0;
+  for (const auto& t : transfers)
+    if (t.sender == 1 && t.receiver == 2) {
+      ++p1_to_p2;
+      EXPECT_EQ(t.section.dims[0], (ConcreteInterval{1, 15, 1}));  // hull
+    }
+  EXPECT_EQ(p1_to_p2, 1);
+}
+
+}  // namespace
+}  // namespace fgdsm::hpf
