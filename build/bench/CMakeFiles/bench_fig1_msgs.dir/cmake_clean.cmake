@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_msgs.dir/bench_fig1_msgs.cc.o"
+  "CMakeFiles/bench_fig1_msgs.dir/bench_fig1_msgs.cc.o.d"
+  "bench_fig1_msgs"
+  "bench_fig1_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper.dir/bench_paper.cc.o"
+  "CMakeFiles/bench_paper.dir/bench_paper.cc.o.d"
+  "bench_paper"
+  "bench_paper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_compile.dir/hpf_compile.cpp.o"
+  "CMakeFiles/hpf_compile.dir/hpf_compile.cpp.o.d"
+  "hpf_compile"
+  "hpf_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

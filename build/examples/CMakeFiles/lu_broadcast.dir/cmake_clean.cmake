@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_broadcast.dir/lu_broadcast.cpp.o"
+  "CMakeFiles/lu_broadcast.dir/lu_broadcast.cpp.o.d"
+  "lu_broadcast"
+  "lu_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

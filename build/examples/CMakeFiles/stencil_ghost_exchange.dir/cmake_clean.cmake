@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_ghost_exchange.dir/stencil_ghost_exchange.cpp.o"
+  "CMakeFiles/stencil_ghost_exchange.dir/stencil_ghost_exchange.cpp.o.d"
+  "stencil_ghost_exchange"
+  "stencil_ghost_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_ghost_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cc" "src/apps/CMakeFiles/fgdsm_apps.dir/cg.cc.o" "gcc" "src/apps/CMakeFiles/fgdsm_apps.dir/cg.cc.o.d"
+  "/root/repo/src/apps/grav.cc" "src/apps/CMakeFiles/fgdsm_apps.dir/grav.cc.o" "gcc" "src/apps/CMakeFiles/fgdsm_apps.dir/grav.cc.o.d"
+  "/root/repo/src/apps/jacobi.cc" "src/apps/CMakeFiles/fgdsm_apps.dir/jacobi.cc.o" "gcc" "src/apps/CMakeFiles/fgdsm_apps.dir/jacobi.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/apps/CMakeFiles/fgdsm_apps.dir/lu.cc.o" "gcc" "src/apps/CMakeFiles/fgdsm_apps.dir/lu.cc.o.d"
+  "/root/repo/src/apps/pde.cc" "src/apps/CMakeFiles/fgdsm_apps.dir/pde.cc.o" "gcc" "src/apps/CMakeFiles/fgdsm_apps.dir/pde.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/fgdsm_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/fgdsm_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/shallow.cc" "src/apps/CMakeFiles/fgdsm_apps.dir/shallow.cc.o" "gcc" "src/apps/CMakeFiles/fgdsm_apps.dir/shallow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpf/CMakeFiles/fgdsm_hpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgdsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_apps.dir/cg.cc.o"
+  "CMakeFiles/fgdsm_apps.dir/cg.cc.o.d"
+  "CMakeFiles/fgdsm_apps.dir/grav.cc.o"
+  "CMakeFiles/fgdsm_apps.dir/grav.cc.o.d"
+  "CMakeFiles/fgdsm_apps.dir/jacobi.cc.o"
+  "CMakeFiles/fgdsm_apps.dir/jacobi.cc.o.d"
+  "CMakeFiles/fgdsm_apps.dir/lu.cc.o"
+  "CMakeFiles/fgdsm_apps.dir/lu.cc.o.d"
+  "CMakeFiles/fgdsm_apps.dir/pde.cc.o"
+  "CMakeFiles/fgdsm_apps.dir/pde.cc.o.d"
+  "CMakeFiles/fgdsm_apps.dir/registry.cc.o"
+  "CMakeFiles/fgdsm_apps.dir/registry.cc.o.d"
+  "CMakeFiles/fgdsm_apps.dir/shallow.cc.o"
+  "CMakeFiles/fgdsm_apps.dir/shallow.cc.o.d"
+  "libfgdsm_apps.a"
+  "libfgdsm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

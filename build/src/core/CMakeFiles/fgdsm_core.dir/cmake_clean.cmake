@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_core.dir/options.cc.o"
+  "CMakeFiles/fgdsm_core.dir/options.cc.o.d"
+  "CMakeFiles/fgdsm_core.dir/plan.cc.o"
+  "CMakeFiles/fgdsm_core.dir/plan.cc.o.d"
+  "libfgdsm_core.a"
+  "libfgdsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

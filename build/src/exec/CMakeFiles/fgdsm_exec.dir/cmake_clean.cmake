@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_exec.dir/executor.cc.o"
+  "CMakeFiles/fgdsm_exec.dir/executor.cc.o.d"
+  "libfgdsm_exec.a"
+  "libfgdsm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

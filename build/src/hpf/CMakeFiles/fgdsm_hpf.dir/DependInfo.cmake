@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpf/analysis.cc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/analysis.cc.o" "gcc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/analysis.cc.o.d"
+  "/root/repo/src/hpf/dataflow.cc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/dataflow.cc.o" "gcc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/dataflow.cc.o.d"
+  "/root/repo/src/hpf/frontend/lexer.cc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/frontend/lexer.cc.o" "gcc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/frontend/lexer.cc.o.d"
+  "/root/repo/src/hpf/frontend/lower.cc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/frontend/lower.cc.o" "gcc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/frontend/lower.cc.o.d"
+  "/root/repo/src/hpf/frontend/parser.cc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/frontend/parser.cc.o" "gcc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/hpf/layout.cc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/layout.cc.o" "gcc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/layout.cc.o.d"
+  "/root/repo/src/hpf/section.cc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/section.cc.o" "gcc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/section.cc.o.d"
+  "/root/repo/src/hpf/symbolic.cc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/symbolic.cc.o" "gcc" "src/hpf/CMakeFiles/fgdsm_hpf.dir/symbolic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgdsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_hpf.dir/analysis.cc.o"
+  "CMakeFiles/fgdsm_hpf.dir/analysis.cc.o.d"
+  "CMakeFiles/fgdsm_hpf.dir/dataflow.cc.o"
+  "CMakeFiles/fgdsm_hpf.dir/dataflow.cc.o.d"
+  "CMakeFiles/fgdsm_hpf.dir/frontend/lexer.cc.o"
+  "CMakeFiles/fgdsm_hpf.dir/frontend/lexer.cc.o.d"
+  "CMakeFiles/fgdsm_hpf.dir/frontend/lower.cc.o"
+  "CMakeFiles/fgdsm_hpf.dir/frontend/lower.cc.o.d"
+  "CMakeFiles/fgdsm_hpf.dir/frontend/parser.cc.o"
+  "CMakeFiles/fgdsm_hpf.dir/frontend/parser.cc.o.d"
+  "CMakeFiles/fgdsm_hpf.dir/layout.cc.o"
+  "CMakeFiles/fgdsm_hpf.dir/layout.cc.o.d"
+  "CMakeFiles/fgdsm_hpf.dir/section.cc.o"
+  "CMakeFiles/fgdsm_hpf.dir/section.cc.o.d"
+  "CMakeFiles/fgdsm_hpf.dir/symbolic.cc.o"
+  "CMakeFiles/fgdsm_hpf.dir/symbolic.cc.o.d"
+  "libfgdsm_hpf.a"
+  "libfgdsm_hpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_hpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

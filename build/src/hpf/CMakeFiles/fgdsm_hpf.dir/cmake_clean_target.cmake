@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfgdsm_hpf.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_mp.dir/runtime.cc.o"
+  "CMakeFiles/fgdsm_mp.dir/runtime.cc.o.d"
+  "libfgdsm_mp.a"
+  "libfgdsm_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

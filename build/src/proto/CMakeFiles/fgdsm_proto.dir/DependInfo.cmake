@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/stache.cc" "src/proto/CMakeFiles/fgdsm_proto.dir/stache.cc.o" "gcc" "src/proto/CMakeFiles/fgdsm_proto.dir/stache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tempest/CMakeFiles/fgdsm_tempest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgdsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

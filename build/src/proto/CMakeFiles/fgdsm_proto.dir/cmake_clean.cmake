@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_proto.dir/stache.cc.o"
+  "CMakeFiles/fgdsm_proto.dir/stache.cc.o.d"
+  "libfgdsm_proto.a"
+  "libfgdsm_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

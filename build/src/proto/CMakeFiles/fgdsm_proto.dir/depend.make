@@ -1,0 +1,2 @@
+# Empty dependencies file for fgdsm_proto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_sim.dir/engine.cc.o"
+  "CMakeFiles/fgdsm_sim.dir/engine.cc.o.d"
+  "CMakeFiles/fgdsm_sim.dir/network.cc.o"
+  "CMakeFiles/fgdsm_sim.dir/network.cc.o.d"
+  "CMakeFiles/fgdsm_sim.dir/task.cc.o"
+  "CMakeFiles/fgdsm_sim.dir/task.cc.o.d"
+  "libfgdsm_sim.a"
+  "libfgdsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_tempest.dir/cluster.cc.o"
+  "CMakeFiles/fgdsm_tempest.dir/cluster.cc.o.d"
+  "CMakeFiles/fgdsm_tempest.dir/node.cc.o"
+  "CMakeFiles/fgdsm_tempest.dir/node.cc.o.d"
+  "libfgdsm_tempest.a"
+  "libfgdsm_tempest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_tempest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

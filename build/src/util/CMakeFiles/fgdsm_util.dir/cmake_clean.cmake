@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgdsm_util.dir/log.cc.o"
+  "CMakeFiles/fgdsm_util.dir/log.cc.o.d"
+  "CMakeFiles/fgdsm_util.dir/options.cc.o"
+  "CMakeFiles/fgdsm_util.dir/options.cc.o.d"
+  "CMakeFiles/fgdsm_util.dir/stats.cc.o"
+  "CMakeFiles/fgdsm_util.dir/stats.cc.o.d"
+  "CMakeFiles/fgdsm_util.dir/table.cc.o"
+  "CMakeFiles/fgdsm_util.dir/table.cc.o.d"
+  "libfgdsm_util.a"
+  "libfgdsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgdsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

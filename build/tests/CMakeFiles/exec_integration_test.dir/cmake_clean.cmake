@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_integration_test.dir/exec_integration_test.cc.o"
+  "CMakeFiles/exec_integration_test.dir/exec_integration_test.cc.o.d"
+  "exec_integration_test"
+  "exec_integration_test.pdb"
+  "exec_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_analysis_test.dir/hpf_analysis_test.cc.o"
+  "CMakeFiles/hpf_analysis_test.dir/hpf_analysis_test.cc.o.d"
+  "hpf_analysis_test"
+  "hpf_analysis_test.pdb"
+  "hpf_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_dataflow_test.dir/hpf_dataflow_test.cc.o"
+  "CMakeFiles/hpf_dataflow_test.dir/hpf_dataflow_test.cc.o.d"
+  "hpf_dataflow_test"
+  "hpf_dataflow_test.pdb"
+  "hpf_dataflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

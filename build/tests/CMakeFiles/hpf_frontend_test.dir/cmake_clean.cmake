@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_frontend_test.dir/hpf_frontend_test.cc.o"
+  "CMakeFiles/hpf_frontend_test.dir/hpf_frontend_test.cc.o.d"
+  "hpf_frontend_test"
+  "hpf_frontend_test.pdb"
+  "hpf_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_section_test.dir/hpf_section_test.cc.o"
+  "CMakeFiles/hpf_section_test.dir/hpf_section_test.cc.o.d"
+  "hpf_section_test"
+  "hpf_section_test.pdb"
+  "hpf_section_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_section_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

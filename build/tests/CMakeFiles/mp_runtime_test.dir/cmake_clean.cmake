@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_runtime_test.dir/mp_runtime_test.cc.o"
+  "CMakeFiles/mp_runtime_test.dir/mp_runtime_test.cc.o.d"
+  "mp_runtime_test"
+  "mp_runtime_test.pdb"
+  "mp_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nonowner_write_test.cc" "tests/CMakeFiles/nonowner_write_test.dir/nonowner_write_test.cc.o" "gcc" "tests/CMakeFiles/nonowner_write_test.dir/nonowner_write_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/fgdsm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/fgdsm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgdsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/fgdsm_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tempest/CMakeFiles/fgdsm_tempest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fgdsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpf/CMakeFiles/fgdsm_hpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgdsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

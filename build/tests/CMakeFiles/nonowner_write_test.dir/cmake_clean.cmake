@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonowner_write_test.dir/nonowner_write_test.cc.o"
+  "CMakeFiles/nonowner_write_test.dir/nonowner_write_test.cc.o.d"
+  "nonowner_write_test"
+  "nonowner_write_test.pdb"
+  "nonowner_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonowner_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

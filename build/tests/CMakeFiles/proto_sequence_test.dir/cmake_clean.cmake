@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_sequence_test.dir/proto_sequence_test.cc.o"
+  "CMakeFiles/proto_sequence_test.dir/proto_sequence_test.cc.o.d"
+  "proto_sequence_test"
+  "proto_sequence_test.pdb"
+  "proto_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_test.dir/tempest_test.cc.o"
+  "CMakeFiles/tempest_test.dir/tempest_test.cc.o.d"
+  "tempest_test"
+  "tempest_test.pdb"
+  "tempest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

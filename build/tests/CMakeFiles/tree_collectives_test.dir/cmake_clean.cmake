@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_collectives_test.dir/tree_collectives_test.cc.o"
+  "CMakeFiles/tree_collectives_test.dir/tree_collectives_test.cc.o.d"
+  "tree_collectives_test"
+  "tree_collectives_test.pdb"
+  "tree_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_task_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_network_test[1]_include.cmake")
+include("/root/repo/build/tests/tempest_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_stache_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf_section_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/core_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf_dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_sequence_test[1]_include.cmake")
+include("/root/repo/build/tests/nonowner_write_test[1]_include.cmake")
