@@ -3,9 +3,18 @@
 //      effect but raise per-block protocol costs;
 //   2. bulk-transfer payload sweep: the marginal value of coalescing;
 //   3. the grav edge-effect study: 129-point vs 128-point arrays at 128 B
-//      blocks (the paper's §6 explanation of grav's poor miss reduction).
+//      blocks (the paper's §6 explanation of grav's poor miss reduction);
+//   4. the comm-plan cache: host wall-clock of one optimized run per app
+//      with section analysis re-run every loop visit vs served from
+//      core::PlanCache, plus the cache hit rate (EXPERIMENTS.md records
+//      these).
+// Each section builds its sweep as a batch (--jobs=N host threads);
+// section 4 runs sequentially because it measures host time.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "bench/common.h"
 #include "src/util/table.h"
@@ -22,11 +31,17 @@ int main(int argc, char** argv) {
     util::Table t({"block", "elapsed (ms)", "misses/node",
                    "% misses removed vs unopt"});
     const hpf::Program prog = apps::registry()[5].scaled(bc.scale);
+    bench::RunMatrix m;
     for (std::size_t block : {32u, 64u, 128u}) {
-      const auto u =
-          bench::run_app(prog, core::shmem_unopt(), bc.nodes, true, block);
-      const auto o = bench::run_app(prog, core::shmem_opt_full(), bc.nodes,
-                                    true, block);
+      const std::string row = std::to_string(block);
+      m.add(row, "unopt", prog, core::shmem_unopt(), bc.nodes, true, block);
+      m.add(row, "opt", prog, core::shmem_opt_full(), bc.nodes, true, block);
+    }
+    m.run(bc.jobs);
+    for (std::size_t block : {32u, 64u, 128u}) {
+      const std::string row = std::to_string(block);
+      const auto& u = m.at(row, "unopt");
+      const auto& o = m.at(row, "opt");
       t.add_row({util::Table::cell(static_cast<std::int64_t>(block)),
                  util::Table::cell(o.stats.elapsed_ns / 1e6, 1),
                  util::Table::cell(o.stats.avg_misses_per_node(), 0),
@@ -42,10 +57,16 @@ int main(int argc, char** argv) {
     std::printf("\nAblation 2: bulk-transfer payload sweep (pde)\n");
     util::Table t({"max payload", "elapsed (ms)", "ccc msgs/node"});
     const hpf::Program prog = apps::registry()[0].scaled(bc.scale);
+    bench::RunMatrix m;
     for (std::size_t payload : {128u, 512u, 2048u, 4096u, 16384u}) {
       core::Options opt = core::shmem_opt_full();
       opt.max_payload = payload;
-      const auto r = bench::run_app(prog, opt, bc.nodes, true, bc.block);
+      m.add(std::to_string(payload), "run", prog, opt, bc.nodes, true,
+            bc.block);
+    }
+    m.run(bc.jobs);
+    for (std::size_t payload : {128u, 512u, 2048u, 4096u, 16384u}) {
+      const auto& r = m.at(std::to_string(payload), "run");
       t.add_row(
           {util::Table::cell(static_cast<std::int64_t>(payload)),
            util::Table::cell(r.stats.elapsed_ns / 1e6, 1),
@@ -61,18 +82,74 @@ int main(int argc, char** argv) {
   {
     std::printf("\nAblation 3: the grav edge effect (128B blocks)\n");
     util::Table t({"grid", "% misses removed", "note"});
+    const hpf::Program g127 = apps::grav(127, 2);
+    const hpf::Program g128 = apps::grav(128, 2);
+    bench::RunMatrix m;
+    for (const auto* p : {&g127, &g128}) {
+      const std::string row = p == &g127 ? "127" : "128";
+      m.add(row, "unopt", *p, core::shmem_unopt(), bc.nodes, true, 128);
+      m.add(row, "opt", *p, core::shmem_opt_full(), bc.nodes, true, 128);
+    }
+    m.run(bc.jobs);
     for (std::int64_t g : {127, 128}) {  // arrays are (g+1)^2: 128 vs 129
-      const hpf::Program prog = apps::grav(g, 2);
-      const auto u =
-          bench::run_app(prog, core::shmem_unopt(), bc.nodes, true, 128);
-      const auto o = bench::run_app(prog, core::shmem_opt_full(), bc.nodes,
-                                    true, 128);
+      const std::string row = std::to_string(g);
       t.add_row({util::Table::cell(g + 1) + "^2",
                  util::Table::percent(util::percent_reduction(
-                     u.stats.avg_misses_per_node(),
-                     o.stats.avg_misses_per_node())),
+                     m.at(row, "unopt").stats.avg_misses_per_node(),
+                     m.at(row, "opt").stats.avg_misses_per_node())),
                  g == 127 ? "columns block-aligned"
                           : "129-point columns: pronounced edges (paper)"});
+    }
+    t.print(std::cout);
+  }
+
+  // ---- 4. Comm-plan cache: host-side analysis cost per app ----
+  {
+    std::printf("\nAblation 4: comm-plan cache (host wall-clock, "
+                "sm-opt+bulk+rtelim, scale=%.2f, %d nodes)\n",
+                bc.scale, bc.nodes);
+    util::Table t({"app", "host ms (re-analyze)", "host ms (cached)",
+                   "saved", "hit rate", "plan visits"});
+    for (const auto& e : apps::registry()) {
+      if (!bc.selected(e.name)) continue;
+      const hpf::Program prog = e.scaled(bc.scale);
+      // Untimed warmup, then best-of-3 per variant, interleaved: host
+      // wall-clock on a shared machine is noisy, and the min is the run
+      // least disturbed by it.
+      double ms[2] = {1e300, 1e300};
+      exec::RunResult res[2];
+      {
+        const exec::ExperimentSpec w = bench::make_spec(
+            prog, core::shmem_opt_full(), bc.nodes, true, bc.block);
+        (void)exec::run(*w.program, w.config);
+      }
+      for (int rep = 0; rep < 3; ++rep) {
+        for (int cached = 0; cached < 2; ++cached) {
+          exec::ExperimentSpec s = bench::make_spec(
+              prog, core::shmem_opt_full(), bc.nodes, true, bc.block);
+          s.config.opt.plan_cache = cached != 0;
+          const auto t0 = std::chrono::steady_clock::now();
+          res[cached] = exec::run(*s.program, s.config);
+          ms[cached] = std::min(
+              ms[cached], std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+        }
+      }
+      FGDSM_ASSERT(res[0].stats.elapsed_ns == res[1].stats.elapsed_ns);
+      const auto tot = res[1].stats.totals();
+      const double visits = static_cast<double>(tot.plan_cache_hits +
+                                                tot.plan_cache_misses);
+      t.add_row({e.name, util::Table::cell(ms[0], 1),
+                 util::Table::cell(ms[1], 1),
+                 util::Table::percent(
+                     util::percent_reduction(ms[0], ms[1])),
+                 util::Table::percent(
+                     visits == 0
+                         ? 0.0
+                         : 100.0 * static_cast<double>(tot.plan_cache_hits) /
+                               visits),
+                 util::Table::cell(visits, 0)});
     }
     t.print(std::cout);
   }

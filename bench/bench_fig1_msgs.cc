@@ -105,8 +105,9 @@ Counts measure(bool optimized, int iters) {
 
 int main(int argc, char** argv) {
   using namespace fgdsm;
-  (void)argc;
-  (void)argv;
+  // Accepts the common flags (--jobs etc.) for uniform driving by
+  // run_experiments.sh; the producer-consumer pair is fixed-size.
+  (void)bench::BenchConfig::from_args(argc, argv);
   const auto def = measure(false, 9);
   const auto opt = measure(true, 9);
   std::printf("Figure 1: protocol messages per producer-consumer transfer\n");

@@ -8,6 +8,7 @@
 // future work): availability-based redundant-communication elimination.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/util/table.h"
@@ -19,24 +20,37 @@ int main(int argc, char** argv) {
       "Figure 4: normalized execution time, dual-cpu (scale=%.2f, %d "
       "nodes)\n",
       bc.scale, bc.nodes);
+
+  std::vector<std::pair<std::string, hpf::Program>> progs;
+  for (const auto& app : apps::registry())
+    if (bc.selected(app.name)) progs.emplace_back(app.name, app.scaled(bc.scale));
+
+  const std::vector<std::pair<std::string, core::Options>> levels = {
+      {"unopt", core::shmem_unopt()},
+      {"base", core::shmem_opt_base()},
+      {"bulk", core::shmem_opt_bulk()},
+      {"full", core::shmem_opt_full()},
+      {"pre", core::shmem_opt_pre()},
+  };
+  bench::RunMatrix m;
+  for (const auto& [name, prog] : progs)
+    for (const auto& [lvl, opt] : levels)
+      m.add(name, lvl, prog, opt, bc.nodes, true, bc.block);
+  m.run(bc.jobs);
+
   util::Table t({"app", "unopt", "base opts", "+bulk", "+bulk+rtelim",
                  "+pre (ext.)"});
-  for (const auto& app : apps::registry()) {
-    if (!bc.selected(app.name)) continue;
-    const hpf::Program prog = app.scaled(bc.scale);
-    const auto unopt = bench::run_app(prog, core::shmem_unopt(), bc.nodes,
-                                      true, bc.block);
-    const double base_ns = static_cast<double>(unopt.stats.elapsed_ns);
-    auto frac = [&](const core::Options& opt) {
-      const auto r = bench::run_app(prog, opt, bc.nodes, true, bc.block);
-      return static_cast<double>(r.stats.elapsed_ns) / base_ns;
+  for (const auto& [name, prog] : progs) {
+    (void)prog;
+    const double base_ns =
+        static_cast<double>(m.at(name, "unopt").stats.elapsed_ns);
+    auto frac = [&](const std::string& lvl) {
+      return static_cast<double>(m.at(name, lvl).stats.elapsed_ns) / base_ns;
     };
-    t.add_row({app.name, "1.00",
-               util::Table::cell(frac(core::shmem_opt_base())),
-               util::Table::cell(frac(core::shmem_opt_bulk())),
-               util::Table::cell(frac(core::shmem_opt_full())),
-               util::Table::cell(frac(core::shmem_opt_pre()))});
-    std::fflush(stdout);
+    t.add_row({name, "1.00", util::Table::cell(frac("base")),
+               util::Table::cell(frac("bulk")),
+               util::Table::cell(frac("full")),
+               util::Table::cell(frac("pre"))});
   }
   t.print(std::cout);
   return 0;

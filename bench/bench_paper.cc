@@ -3,6 +3,10 @@
 // message passing) and prints both the speedup row and the
 // communication/miss breakdown from the same runs — the cheapest way to
 // regenerate the paper's two main results at full scale.
+//
+// The six configurations of each application run as one batch
+// (exec::BatchRunner, --jobs=N host threads); partial tables still stream
+// after every application so long full-scale runs stay inspectable.
 #include <cstdio>
 #include <iostream>
 
@@ -13,8 +17,9 @@
 int main(int argc, char** argv) {
   using namespace fgdsm;
   const bench::BenchConfig bc = bench::BenchConfig::from_args(argc, argv);
-  std::printf("Figure 3 + Table 3 (scale=%.2f, %d nodes, %zuB blocks)\n",
-              bc.scale, bc.nodes, bc.block);
+  std::printf(
+      "Figure 3 + Table 3 (scale=%.2f, %d nodes, %zuB blocks)\n",
+      bc.scale, bc.nodes, bc.block);
   util::Table fig3({"app", "sm-unopt 1cpu", "sm-opt 1cpu", "sm-unopt 2cpu",
                     "sm-opt 2cpu", "msg-passing"});
   util::Table t3({"app", "compute (s)", "comm 2cpu (s)", "% red 2cpu",
@@ -23,24 +28,27 @@ int main(int argc, char** argv) {
   for (const auto& app : apps::registry()) {
     if (!bc.selected(app.name)) continue;
     const hpf::Program prog = app.scaled(bc.scale);
-    std::fprintf(stderr, "[%s] serial...\n", app.name.c_str());
-    const auto serial =
-        bench::run_app(prog, core::serial(), 1, true, bc.block);
-    std::fprintf(stderr, "[%s] sm-unopt 2cpu...\n", app.name.c_str());
-    const auto u2 = bench::run_app(prog, core::shmem_unopt(), bc.nodes, true,
-                                   bc.block);
-    std::fprintf(stderr, "[%s] sm-opt 2cpu...\n", app.name.c_str());
-    const auto o2 = bench::run_app(prog, core::shmem_opt_full(), bc.nodes,
-                                   true, bc.block);
-    std::fprintf(stderr, "[%s] sm-unopt 1cpu...\n", app.name.c_str());
-    const auto u1 = bench::run_app(prog, core::shmem_unopt(), bc.nodes,
-                                   false, bc.block);
-    std::fprintf(stderr, "[%s] sm-opt 1cpu...\n", app.name.c_str());
-    const auto o1 = bench::run_app(prog, core::shmem_opt_full(), bc.nodes,
-                                   false, bc.block);
-    std::fprintf(stderr, "[%s] msg-passing...\n", app.name.c_str());
-    const auto mp = bench::run_app(prog, core::msg_passing(), bc.nodes, true,
-                                   bc.block);
+    std::fprintf(stderr, "[%s] %d configurations, %d jobs...\n",
+                 app.name.c_str(), 6, bc.jobs);
+    bench::RunMatrix m;
+    m.add(app.name, "serial", prog, core::serial(), 1, true, bc.block);
+    m.add(app.name, "u2", prog, core::shmem_unopt(), bc.nodes, true,
+          bc.block);
+    m.add(app.name, "o2", prog, core::shmem_opt_full(), bc.nodes, true,
+          bc.block);
+    m.add(app.name, "u1", prog, core::shmem_unopt(), bc.nodes, false,
+          bc.block);
+    m.add(app.name, "o1", prog, core::shmem_opt_full(), bc.nodes, false,
+          bc.block);
+    m.add(app.name, "mp", prog, core::msg_passing(), bc.nodes, true,
+          bc.block);
+    m.run(bc.jobs);
+    const auto& serial = m.at(app.name, "serial");
+    const auto& u2 = m.at(app.name, "u2");
+    const auto& o2 = m.at(app.name, "o2");
+    const auto& u1 = m.at(app.name, "u1");
+    const auto& o1 = m.at(app.name, "o1");
+    const auto& mp = m.at(app.name, "mp");
 
     fig3.add_row({app.name, util::Table::cell(bench::speedup(serial, u1)),
                   util::Table::cell(bench::speedup(serial, o1)),

@@ -11,8 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace fgdsm;
-  (void)argc;
-  (void)argv;
+  // Accepts the common flags (--jobs etc.) for uniform driving by
+  // run_experiments.sh; the inventory is computed, not simulated.
+  (void)bench::BenchConfig::from_args(argc, argv);
   util::Table t({"Application", "Problem Size", "Paper Mem (MB)",
                  "Our Mem (MB)", "Arrays", "Distribution"});
   for (const auto& app : apps::registry()) {

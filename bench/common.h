@@ -5,24 +5,40 @@
 //   --nodes=<n>     cluster size (default 8, as in the paper)
 //   --block=<b>     coherence block size in bytes (default 128)
 //   --app=<name>    restrict to one application
+//   --jobs=<n>      host threads for independent runs (default 1; results
+//                   are byte-identical at any job count)
+//   --plan-cache=<0|1>  host-side comm-plan caching (default 1; simulated
+//                   results are identical either way — A/B timing knob)
 //   --full          shorthand for --scale=1.0
+//
+// Harnesses build their whole (app x configuration) sweep as a matrix of
+// ExperimentSpecs and execute it through run_matrix, which fans the
+// independent simulations out over exec::BatchRunner's thread pool.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/apps/apps.h"
 #include "src/core/options.h"
+#include "src/exec/batch.h"
 #include "src/exec/executor.h"
 #include "src/util/options.h"
 
 namespace fgdsm::bench {
 
+// Host-side comm-plan caching for specs built by make_spec; --plan-cache=0
+// turns it off for A/B wall-clock comparisons (simulated results are
+// identical either way).
+inline bool g_plan_cache = true;
+
 struct BenchConfig {
   double scale = 0.15;
   int nodes = 8;
   std::size_t block = 128;
+  int jobs = 1;
   std::optional<std::string> only_app;
 
   static BenchConfig from_args(int argc, const char* const* argv) {
@@ -31,6 +47,8 @@ struct BenchConfig {
     c.scale = o.get_double("scale", o.get_bool("full") ? 1.0 : 0.15);
     c.nodes = static_cast<int>(o.get_int("nodes", 8));
     c.block = static_cast<std::size_t>(o.get_int("block", 128));
+    c.jobs = static_cast<int>(o.get_int("jobs", 1));
+    g_plan_cache = o.get_int("plan-cache", 1) != 0;
     if (o.has("app")) c.only_app = o.get("app");
     return c;
   }
@@ -40,18 +58,74 @@ struct BenchConfig {
   }
 };
 
-// Run `prog` under the given options; gather_arrays stays off (programs
-// verify themselves through checksum scalars).
+// Spec for one run of `prog` under the given options; gather_arrays stays
+// off (programs verify themselves through checksum scalars).
+inline exec::ExperimentSpec make_spec(const hpf::Program& prog,
+                                      const core::Options& opt, int nodes,
+                                      bool dual_cpu, std::size_t block,
+                                      std::string label = "") {
+  exec::ExperimentSpec s;
+  s.program = &prog;
+  s.config.cluster.nnodes = nodes;
+  s.config.cluster.block_size = block;
+  s.config.cluster.dual_cpu = dual_cpu;
+  s.config.opt = opt;
+  s.config.opt.plan_cache = g_plan_cache;
+  s.config.gather_arrays = false;
+  s.label = label.empty() ? opt.label() : std::move(label);
+  return s;
+}
+
+// A sweep matrix: named specs accumulated by the harness, executed in one
+// batch, results addressed back by (row, column) label.
+class RunMatrix {
+ public:
+  // Register one cell; `row` is typically the app name and `col` the
+  // configuration label. Programs must outlive run().
+  void add(const std::string& row, const std::string& col,
+           exec::ExperimentSpec spec) {
+    keys_.push_back(row + "/" + col);
+    spec.label = keys_.back();
+    specs_.push_back(std::move(spec));
+  }
+
+  // Convenience: build the spec inline.
+  void add(const std::string& row, const std::string& col,
+           const hpf::Program& prog, const core::Options& opt, int nodes,
+           bool dual_cpu, std::size_t block) {
+    add(row, col, make_spec(prog, opt, nodes, dual_cpu, block));
+  }
+
+  // Execute every cell on `jobs` host threads. Results are byte-identical
+  // for any job count (see exec::BatchRunner).
+  void run(int jobs) {
+    const std::vector<exec::RunResult> out =
+        exec::BatchRunner(jobs).run_all(specs_);
+    for (std::size_t i = 0; i < out.size(); ++i) results_[keys_[i]] = out[i];
+  }
+
+  const exec::RunResult& at(const std::string& row,
+                            const std::string& col) const {
+    auto it = results_.find(row + "/" + col);
+    FGDSM_ASSERT_MSG(it != results_.end(),
+                     "no matrix cell " << row << "/" << col);
+    return it->second;
+  }
+
+  std::size_t size() const { return specs_.size(); }
+
+ private:
+  std::vector<exec::ExperimentSpec> specs_;
+  std::vector<std::string> keys_;
+  std::map<std::string, exec::RunResult> results_;
+};
+
+// Single-run convenience used by harnesses that measure one-off cells.
 inline exec::RunResult run_app(const hpf::Program& prog,
                                const core::Options& opt, int nodes,
                                bool dual_cpu, std::size_t block) {
-  exec::RunConfig cfg;
-  cfg.cluster.nnodes = nodes;
-  cfg.cluster.block_size = block;
-  cfg.cluster.dual_cpu = dual_cpu;
-  cfg.opt = opt;
-  cfg.gather_arrays = false;
-  return exec::run(prog, cfg);
+  const exec::ExperimentSpec s = make_spec(prog, opt, nodes, dual_cpu, block);
+  return exec::run(*s.program, s.config);
 }
 
 inline double speedup(const exec::RunResult& serial,

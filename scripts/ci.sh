@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Local CI entry point — the same two jobs the GitHub Actions workflow runs:
+#   scripts/ci.sh            tier-1 verify: configure, build, ctest
+#   scripts/ci.sh sanitize   ASan+UBSan build + ctest (the batch runner
+#                            introduces host threads; sanitizers gate races
+#                            and UB in the concurrent path)
+# Extra cmake args may follow the job name.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+job="${1:-verify}"
+[[ $# -gt 0 ]] && shift
+
+jobs="$(nproc)"
+
+case "$job" in
+  verify)
+    cmake -B build -S . "$@"
+    cmake --build build -j "$jobs"
+    ctest --test-dir build --output-on-failure -j "$jobs"
+    ;;
+  sanitize)
+    cmake -B build-asan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+      "$@"
+    cmake --build build-asan -j "$jobs"
+    # Fiber context switches (swapcontext) confuse ASan's stack bookkeeping
+    # unless it is told about them; detect_stack_use_after_return stays off
+    # for the same reason.
+    ASAN_OPTIONS="detect_stack_use_after_return=0" \
+      ctest --test-dir build-asan --output-on-failure -j "$jobs"
+    ;;
+  *)
+    echo "unknown job '$job' (expected: verify | sanitize)" >&2
+    exit 2
+    ;;
+esac

@@ -1,12 +1,29 @@
 #!/usr/bin/env bash
 # Regenerate every paper table/figure. Usage:
-#   scripts/run_experiments.sh [--full] [--scale=S] [--nodes=N]
+#   scripts/run_experiments.sh [--full] [--scale=S] [--nodes=N] [--jobs=J]
 # Results land in results/ (one file per experiment).
+#
+# Harnesses are discovered from build/bench/bench_* (no hardcoded list), so
+# new experiments join the sweep by existing. --jobs defaults to the host
+# core count; results are byte-identical at any job count (the simulator is
+# deterministic and batch execution only reorders wall-clock, never virtual
+# time — see src/exec/batch.h).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-ARGS=("$@")
-mkdir -p results
 BIN=build/bench
+
+ARGS=("$@")
+have_jobs=0
+for a in "${ARGS[@]-}"; do
+  case "$a" in
+    --jobs=*|--jobs) have_jobs=1 ;;
+  esac
+done
+if [[ $have_jobs -eq 0 ]]; then
+  ARGS+=("--jobs=$(nproc)")
+fi
+
+mkdir -p results
 
 run() {
   local name="$1"; shift
@@ -15,12 +32,18 @@ run() {
   echo
 }
 
-run bench_table1
-run bench_table2
-run bench_fig1_msgs
-run bench_fig3
-run bench_table3
-run bench_fig4
-run bench_ablation
-run bench_paper
+found=0
+for bin in "$BIN"/bench_*; do
+  [[ -x "$bin" ]] || continue
+  name="$(basename "$bin")"
+  # bench_micro is a google-benchmark binary (host microbenchmarks, own
+  # flag syntax); it is not part of the paper-results sweep.
+  [[ "$name" == bench_micro ]] && continue
+  run "$name"
+  found=1
+done
+if [[ $found -eq 0 ]]; then
+  echo "no bench binaries under $BIN — build first (cmake --build build)" >&2
+  exit 1
+fi
 echo "All results written to results/"

@@ -33,6 +33,14 @@ struct Options {
   // already communicated and nothing wrote the array in between.
   bool elim_redundant_comm = false;
 
+  // Host-side (wall-clock) optimization, no effect on simulated results:
+  // cache each loop's transfer analysis + CommPlan per node and reuse it
+  // while the symbols the loop's structure references keep their values
+  // (core::PlanCache). Models the paper's compiler emitting the schedule
+  // once instead of re-planning every visit. Off exists only for the
+  // equivalence tests and A/B timing.
+  bool plan_cache = true;
+
   std::string label() const;
 };
 

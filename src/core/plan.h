@@ -29,6 +29,9 @@ struct CommPlan {
   struct Send {
     Run run;
     int dst;
+    bool operator==(const Send& o) const {
+      return run == o.run && dst == o.dst;
+    }
   };
   std::vector<Send> sends;          // data shipped before the loop
   std::vector<Run> mk_writable;     // ranges I must hold writable first
@@ -44,6 +47,9 @@ struct CommPlan {
   struct Flush {
     Run run;
     int owner;
+    bool operator==(const Flush& o) const {
+      return run == o.run && owner == o.owner;
+    }
   };
   std::vector<Flush> flushes;
 
@@ -59,6 +65,15 @@ struct CommPlan {
     return sends.empty() && recv.empty() && expected_pre == 0 &&
            expected_post == 0 && flushes.empty();
   }
+
+  // Full structural equality: schedules, counts, and the global flags.
+  bool operator==(const CommPlan& o) const {
+    return sends == o.sends && mk_writable == o.mk_writable &&
+           recv == o.recv && expected_pre == o.expected_pre &&
+           expected_post == o.expected_post && flushes == o.flushes &&
+           any_comm == o.any_comm && any_flush == o.any_flush;
+  }
+  bool operator!=(const CommPlan& o) const { return !(*this == o); }
 };
 
 // Layout table for the program's arrays (built by the executor at

@@ -1,0 +1,93 @@
+#include "src/core/plan_cache.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fgdsm::core {
+
+std::vector<std::string> plan_key_symbols(const hpf::ParallelLoop& loop,
+                                          const hpf::Program& prog) {
+  std::set<std::string> loop_vars;
+  loop_vars.insert(loop.dist.sym);
+  for (const auto& fv : loop.free) loop_vars.insert(fv.sym);
+
+  std::set<std::string> syms;
+  auto add_expr = [&](const hpf::AffineExpr& e) {
+    for (const auto& [s, c] : e.terms()) {
+      (void)c;
+      if (!loop_vars.count(s)) syms.insert(s);
+    }
+  };
+  add_expr(loop.dist.lo);
+  add_expr(loop.dist.hi);
+  for (const auto& fv : loop.free) {
+    add_expr(fv.lo);
+    add_expr(fv.hi);
+  }
+  add_expr(loop.home_sub);
+
+  std::set<std::string> arrays;
+  if (!loop.home_array.empty()) arrays.insert(loop.home_array);
+  auto add_ref = [&](const hpf::ArrayRef& r) {
+    arrays.insert(r.array);
+    for (const auto& sub : r.subs) add_expr(sub);
+  };
+  for (const auto& r : loop.reads) add_ref(r);
+  for (const auto& w : loop.writes) add_ref(w);
+  for (const auto& name : arrays)
+    for (const auto& e : prog.array(name).extents) add_expr(e);
+
+  return {syms.begin(), syms.end()};
+}
+
+std::vector<std::int64_t> PlanCache::key_of(const Slot& s,
+                                            const hpf::Bindings& b) {
+  std::vector<std::int64_t> key;
+  key.reserve(s.symbols.size());
+  for (const auto& sym : s.symbols) key.push_back(b.get(sym));
+  return key;
+}
+
+const PlanCache::Entry* PlanCache::lookup(const hpf::ParallelLoop& loop,
+                                          const hpf::Program& prog,
+                                          const hpf::Bindings& b) {
+  auto [it, fresh] = slots_.try_emplace(&loop);
+  if (fresh) it->second.symbols = plan_key_symbols(loop, prog);
+  Slot& slot = it->second;
+  if (slot.miss_streak >= kGiveUpAfter) {  // abandoned: skip key evaluation
+    ++misses_;
+    return nullptr;
+  }
+  if (slot.filled && slot.entry.key == key_of(slot, b)) {
+    slot.miss_streak = 0;
+    ++hits_;
+    return &slot.entry;
+  }
+  ++misses_;
+  if (++slot.miss_streak >= kGiveUpAfter) {
+    slot.entry = Entry{};  // free the storage; the loop will never hit
+    slot.filled = false;
+  }
+  return nullptr;
+}
+
+bool PlanCache::should_store(const hpf::ParallelLoop& loop) const {
+  auto it = slots_.find(&loop);
+  return it == slots_.end() || it->second.miss_streak < kGiveUpAfter;
+}
+
+const PlanCache::Entry& PlanCache::insert(
+    const hpf::ParallelLoop& loop, const hpf::Program& prog,
+    const hpf::Bindings& b, std::vector<hpf::Transfer> transfers,
+    CommPlan plan) {
+  auto [it, fresh] = slots_.try_emplace(&loop);
+  if (fresh) it->second.symbols = plan_key_symbols(loop, prog);
+  Slot& slot = it->second;
+  slot.entry.key = key_of(slot, b);
+  slot.entry.transfers = std::move(transfers);
+  slot.entry.plan = std::move(plan);
+  slot.filled = true;
+  return slot.entry;
+}
+
+}  // namespace fgdsm::core

@@ -1,0 +1,94 @@
+// Per-node cache of communication plans across repeated visits to the same
+// parallel loop (iterative apps run the same loops every timestep).
+//
+// The paper's model is a compiler that emits the communication schedule
+// once; our executor originally re-ran section analysis and planning on
+// every loop visit. The analysis (hpf::analyze_transfers) and the plan
+// lowering (core::plan_from_transfers) are pure functions of
+//   (loop structure, array declarations, referenced symbol values, np)
+// and (transfers, layouts, me, block size, alignment) respectively — all of
+// which are fixed per run except the symbol values. So the cache key for a
+// loop is the value vector of exactly the non-loop-variable symbols its
+// bounds, subscripts, home reference, and referenced arrays' extents
+// mention: if none of those changed since the last visit, the cached
+// transfers and plan are byte-identical to a fresh computation.
+//
+// Loops whose structure references a time-loop counter (e.g. LU's
+// elimination loops, whose bounds shift with the pivot) key on that counter
+// and correctly miss every timestep; stencil sweeps (jacobi/pde/shallow)
+// key only on problem sizes and hit from the second visit on.
+//
+// Loops that never hit (kGiveUpAfter consecutive misses — e.g. LU, where
+// every elimination step has new bounds) are abandoned: the cache frees
+// their entry, stops evaluating key symbols on lookup, and should_store()
+// turns false so the executor skips storing, keeping the steady-state miss
+// path within noise of an uncached run. Misses are still counted, so the
+// hit-rate statistics remain per-visit.
+//
+// A PlanCache belongs to one node of one run (it bakes in me / np / block
+// size / alignment via the plans it stores) and is not thread-safe; the
+// executor owns one per NodeRun.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/hpf/analysis.h"
+#include "src/hpf/ir.h"
+
+namespace fgdsm::core {
+
+// The non-loop-variable symbols whose values the transfer analysis of
+// `loop` can observe: dist/free bounds, the home subscript, every read and
+// write subscript, and the extents of every referenced array (including the
+// home array). Sorted, deduplicated. Loop variables themselves (dist + free)
+// are excluded — the analysis ranges over them symbolically.
+std::vector<std::string> plan_key_symbols(const hpf::ParallelLoop& loop,
+                                          const hpf::Program& prog);
+
+class PlanCache {
+ public:
+  struct Entry {
+    std::vector<std::int64_t> key;          // values of the key symbols
+    std::vector<hpf::Transfer> transfers;   // unfiltered analysis result
+    CommPlan plan;                          // lowered from `transfers`
+  };
+
+  // Returns the cached entry for `loop` if the key symbol values under `b`
+  // match the stored key; nullptr on miss (including first visit).
+  const Entry* lookup(const hpf::ParallelLoop& loop,
+                      const hpf::Program& prog, const hpf::Bindings& b);
+
+  // Stores (replacing any previous entry) the analysis + plan for `loop`
+  // under the key extracted from `b`, and returns the stored entry.
+  const Entry& insert(const hpf::ParallelLoop& loop,
+                      const hpf::Program& prog, const hpf::Bindings& b,
+                      std::vector<hpf::Transfer> transfers, CommPlan plan);
+
+  // False once `loop` has been abandoned (kGiveUpAfter consecutive
+  // misses): callers should not bother building an entry to store.
+  bool should_store(const hpf::ParallelLoop& loop) const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  static constexpr int kGiveUpAfter = 8;
+
+ private:
+  struct Slot {
+    std::vector<std::string> symbols;  // computed once per loop (structural)
+    Entry entry;
+    bool filled = false;
+    int miss_streak = 0;  // consecutive lookup misses; >= kGiveUpAfter: dead
+  };
+  std::vector<std::int64_t> key_of(const Slot& s, const hpf::Bindings& b);
+
+  std::map<const hpf::ParallelLoop*, Slot> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace fgdsm::core

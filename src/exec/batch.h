@@ -1,0 +1,48 @@
+// Host-parallel execution of independent experiments.
+//
+// A simulation run (exec::run) is a fully self-contained value — the
+// engine/cluster/executor stack holds no process-global mutable state (see
+// src/sim/engine.h), so independent runs may execute concurrently on
+// separate host threads. BatchRunner exploits that: it fans a list of
+// ExperimentSpecs out over a std::thread pool and returns results in spec
+// order, byte-identical to running the same specs sequentially (each run is
+// internally deterministic; threads only choose *which* runs overlap in
+// wall-clock time, never how any one of them unfolds).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/hpf/ir.h"
+
+namespace fgdsm::exec {
+
+// One experiment: a compiled program plus the configuration to run it
+// under. The program is shared (not copied) across specs — hpf::Program is
+// immutable during execution — so a sweep of one app across many
+// configurations stores it once.
+struct ExperimentSpec {
+  const hpf::Program* program = nullptr;
+  RunConfig config;
+  std::string label;  // for reporting; not interpreted
+};
+
+class BatchRunner {
+ public:
+  // jobs <= 1 runs inline on the calling thread (no pool). jobs == 0 is
+  // treated as 1.
+  explicit BatchRunner(int jobs = 1);
+
+  int jobs() const { return jobs_; }
+
+  // Executes every spec and returns results in the same order as `specs`.
+  // If any run throws, the remaining queued specs still execute and the
+  // first failure (in spec order) is rethrown after the pool drains.
+  std::vector<RunResult> run_all(const std::vector<ExperimentSpec>& specs);
+
+ private:
+  int jobs_;
+};
+
+}  // namespace fgdsm::exec

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/core/plan.h"
+#include "src/core/plan_cache.h"
 #include "src/hpf/analysis.h"
 #include "src/mp/runtime.h"
 #include "src/proto/stache.h"
@@ -58,6 +59,11 @@ struct NodeRun {
     std::vector<hpf::Transfer> transfers;
   };
   std::map<const hpf::ParallelLoop*, AvailEntry> avail;
+
+  // Communication-schedule cache across loop visits (core::PlanCache):
+  // iterative apps re-run the same loops every timestep with unchanged
+  // structural symbols, so analysis + planning runs once per loop.
+  core::PlanCache plan_cache;
 
   util::NodeStats snap;      // stats at program completion
   sim::Time snap_time = 0;
@@ -177,6 +183,8 @@ class Executor {
     exec_phases(prog_.phases, st);
     n.barrier(t);
     st.snap = n.stats;
+    st.snap.plan_cache_hits = st.plan_cache.hits();
+    st.snap.plan_cache_misses = st.plan_cache.misses();
     st.snap_time = t.now();
     if (cfg_.gather_arrays && shmem()) gather_owned(st);
   }
@@ -235,14 +243,8 @@ class Executor {
     }
 
     CommPlan plan;
-    if (cfg_.opt.mode == Mode::kShmemOpt || cfg_.opt.mode == Mode::kMsgPassing) {
-      auto transfers = hpf::analyze_transfers(loop, prog_, st.bind, np);
-      if (cfg_.opt.elim_redundant_comm)
-        transfers = filter_available(loop, st, std::move(transfers));
-      plan = core::plan_from_transfers(
-          transfers, layouts_, n.id(), cluster_.block_size(),
-          /*block_align=*/cfg_.opt.mode == Mode::kShmemOpt);
-    }
+    if (cfg_.opt.mode == Mode::kShmemOpt || cfg_.opt.mode == Mode::kMsgPassing)
+      plan = plan_for_loop(loop, st);
 
     if (cfg_.opt.mode == Mode::kShmemOpt && plan.any_comm)
       ccc_prologue(loop, plan, st);
@@ -282,6 +284,51 @@ class Executor {
 
   void bump_versions(const hpf::ParallelLoop& loop, NodeRun& st) {
     for (const auto& w : loop.writes) ++st.write_version[w.array];
+  }
+
+  // The plan for this visit of `loop`. With the cache enabled, the
+  // unfiltered analysis + plan is computed once per (loop, structural-symbol
+  // values) and reused; availability filtering (elim_redundant_comm) is
+  // re-applied on every visit on top of the cached transfer set, since it
+  // depends on the live write versions. Either path yields byte-identical
+  // plans: the analysis is a pure function of the key symbols, and the
+  // filter elides all-or-nothing (an elided visit's plan is exactly
+  // plan_from_transfers({}) == CommPlan{}).
+  CommPlan plan_for_loop(const hpf::ParallelLoop& loop, NodeRun& st) {
+    const int np = cluster_.nnodes();
+    const std::size_t bs = cluster_.block_size();
+    const bool align = cfg_.opt.mode == Mode::kShmemOpt;
+    const int me = st.node->id();
+
+    if (!cfg_.opt.plan_cache) {
+      auto transfers = hpf::analyze_transfers(loop, prog_, st.bind, np);
+      if (cfg_.opt.elim_redundant_comm)
+        transfers = filter_available(loop, st, std::move(transfers));
+      return core::plan_from_transfers(transfers, layouts_, me, bs, align);
+    }
+
+    const core::PlanCache::Entry* e =
+        st.plan_cache.lookup(loop, prog_, st.bind);
+    if (e != nullptr) {
+      if (!cfg_.opt.elim_redundant_comm) return e->plan;
+      const std::vector<hpf::Transfer> filtered =
+          filter_available(loop, st, e->transfers);
+      if (filtered.empty() && !e->transfers.empty()) return CommPlan{};
+      return e->plan;
+    }
+    // Miss: build fresh, store a copy for future hits (unless the cache has
+    // given up on this loop), and return the local plan without copying.
+    auto transfers = hpf::analyze_transfers(loop, prog_, st.bind, np);
+    CommPlan plan =
+        core::plan_from_transfers(transfers, layouts_, me, bs, align);
+    bool elide = false;
+    if (cfg_.opt.elim_redundant_comm)
+      elide = filter_available(loop, st, transfers).empty() &&
+              !transfers.empty();
+    if (st.plan_cache.should_store(loop))
+      st.plan_cache.insert(loop, prog_, st.bind, std::move(transfers), plan);
+    if (elide) return CommPlan{};
+    return plan;
   }
 
   std::vector<hpf::Transfer> filter_available(

@@ -42,6 +42,10 @@ struct RunResult {
   }
 };
 
+// Reentrant: a run is a self-contained value (engine + cluster + executor
+// state all live on this call's stack/heap; see src/sim/engine.h for the
+// invariant), so concurrent calls from different host threads are safe and
+// bit-identical to sequential execution. exec::BatchRunner builds on this.
 RunResult run(const hpf::Program& prog, RunConfig cfg);
 
 }  // namespace fgdsm::exec

@@ -58,6 +58,8 @@ class AffineExpr {
     return it == terms_.end() ? 0 : it->second;
   }
   bool references(const std::string& s) const { return coeff(s) != 0; }
+  // Symbol -> coefficient map (non-zero coefficients only).
+  const std::map<std::string, std::int64_t>& terms() const { return terms_; }
 
   std::int64_t eval(const Bindings& b) const {
     std::int64_t v = c0_;

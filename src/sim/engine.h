@@ -21,6 +21,15 @@
 //     if equal-timestamp tasks yield to each other unconditionally.
 // next_event_time() reports only ordinary events; the run loop interleaves
 // both kinds in global (time, sequence) order.
+//
+// Reentrancy invariant: an Engine (and everything built on it — Task,
+// Cluster, the executor) is a fully self-contained value. No function in the
+// sim/tempest/proto/mp/exec layers touches process-global mutable state; the
+// only thread-affine piece is the fiber hand-off slot in task.cc, which is
+// thread_local. Hence any number of independent simulations may run
+// concurrently on separate host threads (exec::BatchRunner), each confined
+// to its own thread, with bit-identical results to running them serially.
+// A single Engine must never be shared across threads.
 #pragma once
 
 #include <cstdint>

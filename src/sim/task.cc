@@ -7,9 +7,12 @@
 namespace fgdsm::sim {
 
 namespace {
-// Hand-off slot for fiber entry: makecontext cannot portably pass pointers,
-// and the simulator is single-threaded by construction.
-Task* g_entering_task = nullptr;
+// Hand-off slot for fiber entry: makecontext cannot portably pass pointers.
+// One simulation runs entirely on one host thread, but independent
+// simulations may run concurrently on different threads (exec::BatchRunner),
+// so the slot must be thread-local — it is the only cross-object state in
+// the whole sim layer.
+thread_local Task* g_entering_task = nullptr;
 constexpr std::size_t kStackBytes = 512 * 1024;
 }  // namespace
 

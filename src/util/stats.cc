@@ -15,6 +15,8 @@ NodeStats& NodeStats::operator+=(const NodeStats& o) {
   ccc_messages_sent += o.ccc_messages_sent;
   ccc_runtime_calls += o.ccc_runtime_calls;
   ccc_calls_elided += o.ccc_calls_elided;
+  plan_cache_hits += o.plan_cache_hits;
+  plan_cache_misses += o.plan_cache_misses;
   messages_sent += o.messages_sent;
   bytes_sent += o.bytes_sent;
   barriers += o.barriers;

@@ -26,6 +26,13 @@ struct NodeStats {
   std::uint64_t ccc_runtime_calls = 0;     // mk_writable/implicit_*/limits
   std::uint64_t ccc_calls_elided = 0;      // removed by run-time overhead elim
 
+  // Host-side planner cache (core::PlanCache): loop visits served from the
+  // cached schedule vs. visits that re-ran section analysis + planning.
+  // These measure wall-clock work saved, not simulated behavior — cached
+  // and fresh plans are identical by construction.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+
   // Network traffic (all causes).
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;

@@ -1,9 +1,13 @@
 // Determinism and timing-invariant properties of the whole stack: repeated
 // runs are bit-identical in results AND virtual time; configuration changes
-// move timing in the physically sensible direction.
+// move timing in the physically sensible direction; host-parallel batch
+// execution is indistinguishable from sequential execution.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/apps/apps.h"
+#include "src/exec/batch.h"
 #include "src/exec/executor.h"
 
 namespace fgdsm::exec {
@@ -38,6 +42,95 @@ TEST(Determinism, RepeatedRunsAreBitIdentical) {
           << opt.label();
     }
   }
+}
+
+// Every observable of a run must be bit-identical whether the specs execute
+// serially in order or overlapped on a thread pool: stats counters, virtual
+// times, scalars (checksums), and gathered array contents.
+void expect_results_identical(const RunResult& a, const RunResult& b,
+                              const std::string& label) {
+  EXPECT_EQ(a.stats.elapsed_ns, b.stats.elapsed_ns) << label;
+  ASSERT_EQ(a.stats.node.size(), b.stats.node.size()) << label;
+  for (std::size_t i = 0; i < a.stats.node.size(); ++i) {
+    const util::NodeStats& x = a.stats.node[i];
+    const util::NodeStats& y = b.stats.node[i];
+    EXPECT_EQ(x.read_misses, y.read_misses) << label << " node " << i;
+    EXPECT_EQ(x.write_misses, y.write_misses) << label << " node " << i;
+    EXPECT_EQ(x.invalidations_received, y.invalidations_received)
+        << label << " node " << i;
+    EXPECT_EQ(x.ccc_blocks_sent, y.ccc_blocks_sent) << label << " node " << i;
+    EXPECT_EQ(x.ccc_messages_sent, y.ccc_messages_sent)
+        << label << " node " << i;
+    EXPECT_EQ(x.ccc_runtime_calls, y.ccc_runtime_calls)
+        << label << " node " << i;
+    EXPECT_EQ(x.ccc_calls_elided, y.ccc_calls_elided)
+        << label << " node " << i;
+    EXPECT_EQ(x.plan_cache_hits, y.plan_cache_hits) << label << " node " << i;
+    EXPECT_EQ(x.plan_cache_misses, y.plan_cache_misses)
+        << label << " node " << i;
+    EXPECT_EQ(x.messages_sent, y.messages_sent) << label << " node " << i;
+    EXPECT_EQ(x.bytes_sent, y.bytes_sent) << label << " node " << i;
+    EXPECT_EQ(x.barriers, y.barriers) << label << " node " << i;
+    EXPECT_EQ(x.reductions, y.reductions) << label << " node " << i;
+    EXPECT_EQ(x.compute_ns, y.compute_ns) << label << " node " << i;
+    EXPECT_EQ(x.miss_ns, y.miss_ns) << label << " node " << i;
+    EXPECT_EQ(x.ccc_ns, y.ccc_ns) << label << " node " << i;
+    EXPECT_EQ(x.sync_ns, y.sync_ns) << label << " node " << i;
+    EXPECT_EQ(x.handler_steal_ns, y.handler_steal_ns)
+        << label << " node " << i;
+  }
+  EXPECT_EQ(a.scalars, b.scalars) << label;
+  EXPECT_EQ(a.arrays, b.arrays) << label;
+}
+
+TEST(Determinism, BatchMatchesSequential) {
+  // A mixed matrix: two apps, every execution mode, varying node counts and
+  // one gather_arrays spec — the shapes run_experiments.sh sweeps.
+  const auto jac = apps::jacobi(96, 6);
+  const auto grav = apps::grav(32, 2);
+  std::vector<ExperimentSpec> specs;
+  for (const hpf::Program* prog : {&jac, &grav}) {
+    for (const core::Options& opt :
+         {core::serial(), core::shmem_unopt(), core::shmem_opt_full(),
+          core::shmem_opt_pre(), core::msg_passing()}) {
+      ExperimentSpec s;
+      s.program = prog;
+      s.config = cfg(opt, 4);
+      s.label = prog->name + "/" + opt.label();
+      specs.push_back(s);
+    }
+    ExperimentSpec g;
+    g.program = prog;
+    g.config = cfg(core::shmem_opt_full(), 2);
+    g.config.gather_arrays = true;
+    g.label = prog->name + "/gather";
+    specs.push_back(g);
+  }
+
+  std::vector<RunResult> seq;
+  seq.reserve(specs.size());
+  for (const auto& s : specs) seq.push_back(run(*s.program, s.config));
+
+  for (int jobs : {1, 4, 13}) {
+    const std::vector<RunResult> batch = BatchRunner(jobs).run_all(specs);
+    ASSERT_EQ(batch.size(), seq.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      expect_results_identical(seq[i], batch[i],
+                               specs[i].label + " jobs=" +
+                                   std::to_string(jobs));
+  }
+}
+
+TEST(Determinism, BatchPropagatesFailures) {
+  // A failing spec (unbound size symbol) must not poison its neighbors:
+  // the good specs still produce results and the failure is rethrown.
+  const auto jac = apps::jacobi(64, 2);
+  hpf::Program broken = jac;
+  broken.sizes = hpf::Bindings{};  // evaluation of extents will throw
+  std::vector<ExperimentSpec> specs;
+  specs.push_back({&jac, cfg(core::shmem_opt_full(), 2), "good"});
+  specs.push_back({&broken, cfg(core::shmem_opt_full(), 2), "broken"});
+  EXPECT_THROW(BatchRunner(2).run_all(specs), AssertionError);
 }
 
 TEST(Determinism, SingleCpuNeverFasterThanDual) {
