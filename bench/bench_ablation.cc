@@ -22,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace fgdsm;
   const bench::BenchConfig bc = bench::BenchConfig::from_args(argc, argv);
+  bench::JsonReport jr("ablation", bc);
 
   // ---- 1. Block-size sweep on jacobi ----
   {
@@ -48,8 +49,12 @@ int main(int argc, char** argv) {
                  util::Table::percent(util::percent_reduction(
                      u.stats.avg_misses_per_node(),
                      o.stats.avg_misses_per_node()))});
+      jr.add_run("jacobi", "block" + row + "/unopt", u);
+      jr.add_run("jacobi", "block" + row + "/opt", o);
     }
     t.print(std::cout);
+    if (bc.per_loop)
+      bench::print_per_loop("jacobi opt 128B", m.at("128", "opt"));
   }
 
   // ---- 2. Payload sweep on pde (large contiguous plane transfers) ----
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
     m.run(bc.jobs);
     for (std::size_t payload : {128u, 512u, 2048u, 4096u, 16384u}) {
       const auto& r = m.at(std::to_string(payload), "run");
+      jr.add_run("pde", "payload" + std::to_string(payload), r);
       t.add_row(
           {util::Table::cell(static_cast<std::int64_t>(payload)),
            util::Table::cell(r.stats.elapsed_ns / 1e6, 1),
@@ -93,6 +99,8 @@ int main(int argc, char** argv) {
     m.run(bc.jobs);
     for (std::int64_t g : {127, 128}) {  // arrays are (g+1)^2: 128 vs 129
       const std::string row = std::to_string(g);
+      jr.add_run("grav", "grid" + row + "/unopt", m.at(row, "unopt"));
+      jr.add_run("grav", "grid" + row + "/opt", m.at(row, "opt"));
       t.add_row({util::Table::cell(g + 1) + "^2",
                  util::Table::percent(util::percent_reduction(
                      m.at(row, "unopt").stats.avg_misses_per_node(),
@@ -137,6 +145,10 @@ int main(int argc, char** argv) {
         }
       }
       FGDSM_ASSERT(res[0].stats.elapsed_ns == res[1].stats.elapsed_ns);
+      // Only the simulated result goes to JSON — host wall-clock is not
+      // reproducible, so it would break byte-identical --json output.
+      jr.add_run(e.name, "opt-cached", res[1]);
+      if (bc.per_loop) bench::print_per_loop(e.name + " opt-cached", res[1]);
       const auto tot = res[1].stats.totals();
       const double visits = static_cast<double>(tot.plan_cache_hits +
                                                 tot.plan_cache_misses);
@@ -153,5 +165,6 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
   }
+  jr.write();
   return 0;
 }

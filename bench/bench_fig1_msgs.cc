@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
   using namespace fgdsm;
   // Accepts the common flags (--jobs etc.) for uniform driving by
   // run_experiments.sh; the producer-consumer pair is fixed-size.
-  (void)bench::BenchConfig::from_args(argc, argv);
+  const bench::BenchConfig bc = bench::BenchConfig::from_args(argc, argv);
   const auto def = measure(false, 9);
   const auto opt = measure(true, 9);
   std::printf("Figure 1: protocol messages per producer-consumer transfer\n");
@@ -121,5 +121,12 @@ int main(int argc, char** argv) {
              "1 direct update",
              util::Table::cell(sim::to_us(opt.per_iter_ns), 1)});
   t.print(std::cout);
+
+  bench::JsonReport jr("fig1_msgs", bc);
+  jr.add_metric("default_msgs_per_iter", static_cast<double>(def.messages));
+  jr.add_metric("default_us_per_iter", sim::to_us(def.per_iter_ns));
+  jr.add_metric("opt_msgs_per_iter", static_cast<double>(opt.messages));
+  jr.add_metric("opt_us_per_iter", sim::to_us(opt.per_iter_ns));
+  jr.write();
   return 0;
 }

@@ -57,5 +57,9 @@ int main(int argc, char** argv) {
                util::Table::percent(gain)});
   }
   t.print(std::cout);
+
+  bench::JsonReport jr("fig3", bc);
+  m.export_to(jr);
+  jr.write();
   return 0;
 }

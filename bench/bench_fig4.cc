@@ -53,5 +53,9 @@ int main(int argc, char** argv) {
                util::Table::cell(frac("pre"))});
   }
   t.print(std::cout);
+
+  bench::JsonReport jr("fig4", bc);
+  m.export_to(jr);
+  jr.write();
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   util::Table t3({"app", "compute (s)", "comm 2cpu (s)", "% red 2cpu",
                   "comm 1cpu (s)", "% red 1cpu", "misses/node (K)",
                   "% red misses"});
+  bench::JsonReport jr("paper", bc);
   for (const auto& app : apps::registry()) {
     if (!bc.selected(app.name)) continue;
     const hpf::Program prog = app.scaled(bc.scale);
@@ -74,7 +75,13 @@ int main(int argc, char** argv) {
     std::printf("--- after %s ---\n", app.name.c_str());
     fig3.print(std::cout);
     t3.print(std::cout);
+    if (bc.per_loop) {
+      bench::print_per_loop(app.name + " sm-unopt 2cpu", u2);
+      bench::print_per_loop(app.name + " sm-opt 2cpu", o2);
+    }
     std::fflush(stdout);
+    m.export_to(jr);
   }
+  jr.write();
   return 0;
 }

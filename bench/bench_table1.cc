@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
   using namespace fgdsm;
   // Accepts the common flags (--jobs etc.) for uniform driving by
   // run_experiments.sh; the microbenchmarks themselves are fixed-size.
-  (void)bench::BenchConfig::from_args(argc, argv);
+  const bench::BenchConfig bc = bench::BenchConfig::from_args(argc, argv);
   const sim::Time rtt = measure_roundtrip(16);
   const double bw = measure_bandwidth_mbps();
   const sim::Time miss2_dual = measure_read_miss(true, 2);
@@ -154,5 +154,13 @@ int main(int argc, char** argv) {
              util::Table::cell(sim::to_us(miss3_single), 1) + " us"});
   std::printf("Table 1: cluster configuration microbenchmarks\n");
   t.print(std::cout);
+
+  bench::JsonReport jr("table1", bc);
+  jr.add_metric("roundtrip_us", sim::to_us(rtt));
+  jr.add_metric("bandwidth_mbps", bw);
+  jr.add_metric("read_miss_3hop_dual_us", sim::to_us(miss3_dual));
+  jr.add_metric("read_miss_2hop_dual_us", sim::to_us(miss2_dual));
+  jr.add_metric("read_miss_3hop_single_us", sim::to_us(miss3_single));
+  jr.write();
   return 0;
 }

@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
   using namespace fgdsm;
   // Accepts the common flags (--jobs etc.) for uniform driving by
   // run_experiments.sh; the inventory is computed, not simulated.
-  (void)bench::BenchConfig::from_args(argc, argv);
+  const bench::BenchConfig bc = bench::BenchConfig::from_args(argc, argv);
+  bench::JsonReport jr("table2", bc);
   util::Table t({"Application", "Problem Size", "Paper Mem (MB)",
                  "Our Mem (MB)", "Arrays", "Distribution"});
   for (const auto& app : apps::registry()) {
@@ -37,8 +38,10 @@ int main(int argc, char** argv) {
                util::Table::cell(static_cast<std::int64_t>(
                    prog.arrays.size())),
                dists});
+    jr.add_metric(app.name + "_mem_mb", bytes / 1e6);
   }
   std::printf("Table 2: application suite\n");
   t.print(std::cout);
+  jr.write();
   return 0;
 }

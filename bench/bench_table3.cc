@@ -60,5 +60,9 @@ int main(int argc, char** argv) {
              o2.stats.avg_misses_per_node()))});
   }
   t.print(std::cout);
+
+  bench::JsonReport jr("table3", bc);
+  m.export_to(jr);
+  jr.write();
   return 0;
 }

@@ -10,22 +10,34 @@
 //   --plan-cache=<0|1>  host-side comm-plan caching (default 1; simulated
 //                   results are identical either way — A/B timing knob)
 //   --full          shorthand for --scale=1.0
+//   --json=<file>   also write machine-readable results (schema
+//                   fgdsm-bench-v1; byte-identical at any --jobs count)
+//   --trace=<file>  Chrome trace_event JSON of the first spec built by
+//                   make_spec — combine with --app=<name> (and a
+//                   single-config harness) to pick the traced run
+//   --per-loop      print the per-parallel-loop breakdown after each table
+//   --check-coherence  run the protocol invariant checker at every barrier
 //
 // Harnesses build their whole (app x configuration) sweep as a matrix of
 // ExperimentSpecs and execute it through run_matrix, which fans the
 // independent simulations out over exec::BatchRunner's thread pool.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/apps/apps.h"
 #include "src/core/options.h"
 #include "src/exec/batch.h"
 #include "src/exec/executor.h"
+#include "src/util/json.h"
 #include "src/util/options.h"
+#include "src/util/stats.h"
 
 namespace fgdsm::bench {
 
@@ -33,6 +45,14 @@ namespace fgdsm::bench {
 // turns it off for A/B wall-clock comparisons (simulated results are
 // identical either way).
 inline bool g_plan_cache = true;
+// --check-coherence: every spec built by make_spec runs the protocol's
+// invariant checker at each barrier (debug aid; no virtual-time cost).
+inline bool g_check_coherence = false;
+// --trace=<file>: the FIRST spec built by make_spec records an event trace
+// to this path. One file, one run — combine with --app (and a harness with
+// one configuration per app) to choose which.
+inline std::string g_trace_path;
+inline bool g_trace_assigned = false;
 
 struct BenchConfig {
   double scale = 0.15;
@@ -40,6 +60,10 @@ struct BenchConfig {
   std::size_t block = 128;
   int jobs = 1;
   std::optional<std::string> only_app;
+  bool per_loop = false;       // print per-parallel-loop breakdowns
+  std::string json_path;       // --json=<file>; empty = off
+  std::string trace_path;      // --trace=<file>; empty = off
+  bool check_coherence = false;
 
   static BenchConfig from_args(int argc, const char* const* argv) {
     util::Options o(argc, argv);
@@ -50,6 +74,13 @@ struct BenchConfig {
     c.jobs = static_cast<int>(o.get_int("jobs", 1));
     g_plan_cache = o.get_int("plan-cache", 1) != 0;
     if (o.has("app")) c.only_app = o.get("app");
+    c.per_loop = o.get_bool("per-loop");
+    if (o.has("json")) c.json_path = o.get("json");
+    if (o.has("trace")) c.trace_path = o.get("trace");
+    c.check_coherence = o.get_bool("check-coherence");
+    g_check_coherence = c.check_coherence;
+    g_trace_path = c.trace_path;
+    g_trace_assigned = false;
     return c;
   }
 
@@ -72,8 +103,130 @@ inline exec::ExperimentSpec make_spec(const hpf::Program& prog,
   s.config.opt = opt;
   s.config.opt.plan_cache = g_plan_cache;
   s.config.gather_arrays = false;
+  s.config.cluster.check_coherence = g_check_coherence;
+  if (!g_trace_path.empty() && !g_trace_assigned) {
+    s.config.trace_path = g_trace_path;
+    g_trace_assigned = true;
+  }
   s.label = label.empty() ? opt.label() : std::move(label);
   return s;
+}
+
+// Machine-readable results (--json). One schema for every harness:
+//   {"schema":"fgdsm-bench-v1","bench":<name>,
+//    "config":{scale,nodes,block,check_coherence},
+//    "metrics":{<name>:<value>,...},
+//    "runs":[{app,config,elapsed_ns,scalars,totals,per_node,per_loop},...]}
+// The file depends only on simulated results — never on host timing or the
+// --jobs count — so it is byte-identical across job counts.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const BenchConfig& cfg)
+      : bench_(std::move(bench)), cfg_(cfg) {}
+
+  bool enabled() const { return !cfg_.json_path.empty(); }
+
+  void add_run(const std::string& app, const std::string& config,
+               const exec::RunResult& r) {
+    if (enabled()) runs_.push_back(Run{app, config, r});
+  }
+  // Harness-specific summary values (e.g. round-trip latency, speedups).
+  void add_metric(const std::string& name, double v) {
+    if (enabled()) metrics_[name] = v;
+  }
+
+  // Write the file (no-op without --json). Logs to stderr, never stdout —
+  // the human-readable output must stay byte-identical with and without it.
+  void write() const {
+    if (!enabled()) return;
+    std::ofstream f(cfg_.json_path);
+    if (!f) {
+      std::fprintf(stderr, "fgdsm: cannot open json file '%s'\n",
+                   cfg_.json_path.c_str());
+      return;
+    }
+    util::JsonWriter w(f);
+    w.begin_object();
+    w.kv("schema", "fgdsm-bench-v1");
+    w.kv("bench", bench_);
+    w.key("config");
+    w.begin_object();
+    w.kv("scale", cfg_.scale);
+    w.kv("nodes", cfg_.nodes);
+    w.kv("block", static_cast<std::uint64_t>(cfg_.block));
+    w.kv("check_coherence", cfg_.check_coherence);
+    w.end_object();
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [k, v] : metrics_) w.kv(k, v);
+    w.end_object();
+    w.key("runs");
+    w.begin_array();
+    for (const Run& r : runs_) {
+      w.begin_object();
+      w.kv("app", r.app);
+      w.kv("config", r.config);
+      w.kv("elapsed_ns", static_cast<std::int64_t>(r.result.stats.elapsed_ns));
+      w.key("scalars");
+      w.begin_object();
+      for (const auto& [k, v] : r.result.scalars) w.kv(k, v);
+      w.end_object();
+      w.key("totals");
+      emit_stats(w, r.result.stats.totals());
+      w.key("per_node");
+      w.begin_array();
+      for (const auto& ns : r.result.stats.node) emit_stats(w, ns);
+      w.end_array();
+      w.key("per_loop");
+      w.begin_object();
+      for (const auto& [loop, ns] : r.result.stats.per_loop) {
+        w.key(loop);
+        emit_stats(w, ns);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    f << '\n';
+    std::fprintf(stderr, "fgdsm: wrote %s\n", cfg_.json_path.c_str());
+  }
+
+ private:
+  static void emit_stats(util::JsonWriter& w, const util::NodeStats& s) {
+    w.begin_object();
+    util::NodeStats::visit_fields(
+        s, [&w](const char* name, auto v) { w.kv(name, v); });
+    w.kv("comm_ns", s.comm_ns());
+    w.end_object();
+  }
+
+  struct Run {
+    std::string app;
+    std::string config;
+    exec::RunResult result;
+  };
+  std::string bench_;
+  BenchConfig cfg_;
+  std::map<std::string, double> metrics_;  // ordered: deterministic output
+  std::vector<Run> runs_;
+};
+
+// --per-loop: one line per parallel loop of a run, printed under the
+// harness's own table (opt-in so the default output stays byte-stable).
+inline void print_per_loop(const std::string& title,
+                           const exec::RunResult& r) {
+  std::printf("  per-loop breakdown — %s\n", title.c_str());
+  std::printf("    %-16s %9s %9s %12s %12s %12s %12s\n", "loop", "rd miss",
+              "wr miss", "compute", "miss", "ccc", "sync");
+  for (const auto& [name, s] : r.stats.per_loop)
+    std::printf("    %-16s %9llu %9llu %12s %12s %12s %12s\n", name.c_str(),
+                static_cast<unsigned long long>(s.read_misses),
+                static_cast<unsigned long long>(s.write_misses),
+                util::format_ns(s.compute_ns).c_str(),
+                util::format_ns(s.miss_ns).c_str(),
+                util::format_ns(s.ccc_ns).c_str(),
+                util::format_ns(s.sync_ns).c_str());
 }
 
 // A sweep matrix: named specs accumulated by the harness, executed in one
@@ -113,6 +266,19 @@ class RunMatrix {
   }
 
   std::size_t size() const { return specs_.size(); }
+
+  // Feed every cell into a JsonReport in registration order, splitting the
+  // "row/col" key back into (app, config).
+  void export_to(JsonReport& jr) const {
+    for (const std::string& key : keys_) {
+      auto it = results_.find(key);
+      if (it == results_.end()) continue;
+      const std::size_t slash = key.find('/');
+      jr.add_run(key.substr(0, slash),
+                 slash == std::string::npos ? "" : key.substr(slash + 1),
+                 it->second);
+    }
+  }
 
  private:
   std::vector<exec::ExperimentSpec> specs_;

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Schema check for the --json output of the bench harnesses.
+
+Usage: scripts/check_results_json.py FILE [FILE...]
+
+Validates the fgdsm-bench-v1 schema: top-level keys, config types, and —
+for harnesses that report full runs — per-run stats objects whose counters
+are non-negative and whose per-node breakdown matches the node count.
+Exits non-zero on the first malformed file (CI gates on this).
+"""
+import json
+import sys
+
+STATS_COUNTERS = (
+    "read_misses", "write_misses", "invalidations_received",
+    "ccc_blocks_sent", "ccc_messages_sent", "ccc_runtime_calls",
+    "ccc_calls_elided", "plan_cache_hits", "plan_cache_misses",
+    "messages_sent", "bytes_sent", "barriers", "reductions",
+)
+STATS_TIMES = ("compute_ns", "miss_ns", "ccc_ns", "sync_ns",
+               "handler_steal_ns", "comm_ns")
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_stats(path, where, s):
+    if not isinstance(s, dict):
+        fail(path, f"{where}: stats is not an object")
+    for k in STATS_COUNTERS + STATS_TIMES:
+        if k not in s:
+            fail(path, f"{where}: missing stats field '{k}'")
+    for k in STATS_COUNTERS:
+        if not isinstance(s[k], int) or s[k] < 0:
+            fail(path, f"{where}: counter '{k}' = {s[k]!r} not a non-negative int")
+
+
+def check_file(path):
+    with open(path) as f:
+        d = json.load(f)
+    if d.get("schema") != "fgdsm-bench-v1":
+        fail(path, f"schema is {d.get('schema')!r}, expected 'fgdsm-bench-v1'")
+    for key in ("bench", "config", "metrics", "runs"):
+        if key not in d:
+            fail(path, f"missing top-level key '{key}'")
+    cfg = d["config"]
+    for key in ("scale", "nodes", "block", "check_coherence"):
+        if key not in cfg:
+            fail(path, f"config missing '{key}'")
+    if not isinstance(cfg["nodes"], int) or cfg["nodes"] < 1:
+        fail(path, f"config.nodes = {cfg['nodes']!r} not a positive int")
+    for name, v in d["metrics"].items():
+        if not isinstance(v, (int, float)):
+            fail(path, f"metric '{name}' is not numeric")
+    for i, run in enumerate(d["runs"]):
+        where = f"runs[{i}]"
+        for key in ("app", "config", "elapsed_ns", "scalars", "totals",
+                    "per_node", "per_loop"):
+            if key not in run:
+                fail(path, f"{where}: missing key '{key}'")
+        if run["elapsed_ns"] < 0:
+            fail(path, f"{where}: negative elapsed_ns")
+        check_stats(path, f"{where}.totals", run["totals"])
+        for n, s in enumerate(run["per_node"]):
+            check_stats(path, f"{where}.per_node[{n}]", s)
+        for loop, s in run["per_loop"].items():
+            check_stats(path, f"{where}.per_loop[{loop}]", s)
+    print(f"{path}: ok ({d['bench']}, {len(d['runs'])} runs, "
+          f"{len(d['metrics'])} metrics)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in sys.argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Local CI entry point — the same two jobs the GitHub Actions workflow runs:
-#   scripts/ci.sh            tier-1 verify: configure, build, ctest
+#   scripts/ci.sh            tier-1 verify: configure, build, ctest, then a
+#                            bench smoke run with --json + --check-coherence
+#                            whose output is schema-validated
 #   scripts/ci.sh sanitize   ASan+UBSan build + ctest (the batch runner
 #                            introduces host threads; sanitizers gate races
 #                            and UB in the concurrent path)
@@ -18,6 +20,12 @@ case "$job" in
     cmake -B build -S . "$@"
     cmake --build build -j "$jobs"
     ctest --test-dir build --output-on-failure -j "$jobs"
+    # Observability smoke: one real bench run exercising the coherence
+    # checker and the machine-readable results path end to end.
+    mkdir -p results
+    build/bench/bench_table3 --app=jacobi --scale=0.05 --jobs="$jobs" \
+      --check-coherence --json=results/smoke_table3.json
+    python3 scripts/check_results_json.py results/smoke_table3.json
     ;;
   sanitize)
     cmake -B build-asan -S . \

@@ -12,11 +12,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BIN=build/bench
 
-ARGS=("$@")
+ARGS=()
 have_jobs=0
-for a in "${ARGS[@]-}"; do
+for a in "$@"; do
   case "$a" in
-    --jobs=*|--jobs) have_jobs=1 ;;
+    # Bare --jobs would reach the binaries as the boolean value 1 (i.e. a
+    # silent serial run); it means "all cores" here.
+    --jobs) ARGS+=("--jobs=$(nproc)"); have_jobs=1 ;;
+    --jobs=*) ARGS+=("$a"); have_jobs=1 ;;
+    *) ARGS+=("$a") ;;
   esac
 done
 if [[ $have_jobs -eq 0 ]]; then
@@ -28,7 +32,8 @@ mkdir -p results
 run() {
   local name="$1"; shift
   echo "=== $name ${ARGS[*]-} ==="
-  "$BIN/$name" "${ARGS[@]}" | tee "results/$name.txt"
+  "$BIN/$name" "${ARGS[@]}" "--json=results/$name.json" \
+    | tee "results/$name.txt"
   echo
 }
 

@@ -9,6 +9,7 @@
 #include "src/hpf/analysis.h"
 #include "src/mp/runtime.h"
 #include "src/proto/stache.h"
+#include "src/sim/trace.h"
 #include "src/tempest/cluster.h"
 #include "src/util/assert.h"
 #include "src/util/log.h"
@@ -65,6 +66,9 @@ struct NodeRun {
   // structural symbols, so analysis + planning runs once per loop.
   core::PlanCache plan_cache;
 
+  // Per-parallel-loop counter deltas, accumulated at phase boundaries.
+  std::map<std::string, util::NodeStats> loop_stats;
+
   util::NodeStats snap;      // stats at program completion
   sim::Time snap_time = 0;
 };
@@ -107,6 +111,10 @@ class Executor {
       : prog_(prog), cfg_(std::move(cfg)), cluster_([&] {
           tempest::ClusterConfig c = cfg_.cluster;
           if (cfg_.opt.mode == Mode::kSerial) c.nnodes = 1;
+          if (!cfg_.trace_path.empty()) {
+            tracer_ = std::make_unique<sim::Tracer>();
+            c.tracer = tracer_.get();
+          }
           return c;
         }()) {
     FGDSM_ASSERT_MSG(!cfg_.opt.elim_redundant_comm ||
@@ -152,7 +160,11 @@ class Executor {
                    nodes_[static_cast<std::size_t>(i)].snap_time);
     }
     res.scalars = nodes_[0].scalars;
+    for (const auto& nr : nodes_)
+      for (const auto& [name, delta] : nr.loop_stats)
+        res.stats.per_loop[name] += delta;
     if (cfg_.gather_arrays) gather_into(res);
+    if (tracer_) tracer_->write_file(cfg_.trace_path);
     return res;
   }
 
@@ -226,6 +238,18 @@ class Executor {
 
   // ---- The heart: one parallel loop under the configured mode ----
   void exec_loop(const hpf::ParallelLoop& loop, NodeRun& st) {
+    const util::NodeStats before = st.node->stats;
+    const sim::Time lt0 = st.task->now();
+    exec_loop_inner(loop, st);
+    util::NodeStats delta = st.node->stats;
+    delta -= before;
+    st.loop_stats[loop.name] += delta;
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(st.node->id()), "loop", loop.name,
+               lt0, st.task->now());
+  }
+
+  void exec_loop_inner(const hpf::ParallelLoop& loop, NodeRun& st) {
     Node& n = *st.node;
     sim::Task& t = *st.task;
     FGDSM_LOG("exec", "node " << n.id() << " loop " << loop.name << " t="
@@ -374,6 +398,7 @@ class Executor {
     const std::size_t bs = cluster_.block_size();
     const std::size_t payload =
         cfg_.opt.bulk_transfer ? cfg_.opt.max_payload : bs;
+    const sim::Time p0 = t.now();
 
     // CCC calls happen only after pending transactions complete (§5).
     sim::Time t0 = t.now();
@@ -420,6 +445,9 @@ class Executor {
     // its freshly computed values). One barrier separates the phases —
     // any_flush is a global decision, so every node agrees.
     if (plan.any_flush) n.barrier(t);
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(n.id()), "ccc", "ccc_prologue", p0,
+               t.now());
   }
 
   void ccc_epilogue(const hpf::ParallelLoop& loop, const CommPlan& plan,
@@ -445,6 +473,9 @@ class Executor {
       // only consulted under rt_overhead_elim).
     }
     st.node->stats.ccc_ns += t.now() - t0;
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(n.id()), "ccc", "ccc_epilogue", t0,
+               t.now());
     (void)loop;
     (void)bs;
   }
@@ -461,6 +492,9 @@ class Executor {
                 cluster_.costs().mp_max_payload);
     mp_->recv(n, t, plan.expected_pre);
     n.stats.ccc_ns += t.now() - t0;  // "communication time" bucket
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(n.id()), "ccc", "mp_prologue", t0,
+               t.now());
   }
 
   void mp_epilogue(const CommPlan& plan, NodeRun& st) {
@@ -477,6 +511,9 @@ class Executor {
                   cluster_.costs().mp_max_payload);
       mp_->recv(n, t, plan.expected_post);
       n.stats.ccc_ns += t.now() - t0;
+      if (auto* tr = cluster_.tracer())
+        tr->span(sim::Tracer::compute_track(n.id()), "ccc", "mp_epilogue", t0,
+                 t.now());
     }
   }
 
@@ -601,6 +638,9 @@ class Executor {
 
   const hpf::Program& prog_;
   RunConfig cfg_;
+  // Declared before cluster_: the cluster-config lambda in the constructor
+  // allocates the tracer and hands the cluster a raw pointer to it.
+  std::unique_ptr<sim::Tracer> tracer_;
   tempest::Cluster cluster_;
   std::unique_ptr<proto::Stache> stache_;
   std::unique_ptr<mp::MpRuntime> mp_;

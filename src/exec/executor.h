@@ -31,6 +31,11 @@ struct RunConfig {
   // modes). Costs host time; benches leave it off and compare checksums
   // computed by the programs themselves.
   bool gather_arrays = false;
+  // Event tracing: when non-empty, record spans and message flows during the
+  // run and write Chrome trace_event JSON to this path. Tracing is passive
+  // (no virtual-time charges): a traced run is bit-identical to an untraced
+  // one.
+  std::string trace_path;
 };
 
 struct RunResult {

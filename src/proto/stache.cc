@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <sstream>
 
 #include "src/util/assert.h"
 #include "src/util/log.h"
@@ -16,7 +17,8 @@ int popcount(std::uint64_t v) { return std::popcount(v); }
 Stache::Stache(tempest::Cluster& cluster)
     : cluster_(cluster),
       dir_(static_cast<std::size_t>(cluster.nnodes())),
-      nodes_(static_cast<std::size_t>(cluster.nnodes())) {
+      nodes_(static_cast<std::size_t>(cluster.nnodes())),
+      ccc_open_(static_cast<std::size_t>(cluster.nnodes())) {
   FGDSM_ASSERT_MSG(cluster.nnodes() <= 64, "sharer bitmask is 64 bits");
   FGDSM_ASSERT_MSG(cluster.words_per_block() <= 64,
                    "dirty masks are 64 bits (block <= 512 bytes)");
@@ -614,6 +616,8 @@ void Stache::implicit_writable(Node& node, sim::Task& task, BlockId first,
     task.charge(cluster_.costs().ccc_per_block_cost +
                 cluster_.costs().access_change_cost);
     node.set_access(b, Access::kReadWrite);
+    if (cluster_.config().check_coherence)
+      ccc_open_[static_cast<std::size_t>(node.id())].insert(b);
   }
 }
 
@@ -625,6 +629,8 @@ void Stache::implicit_invalidate(Node& node, sim::Task& task, BlockId first,
     task.charge(cluster_.costs().ccc_per_block_cost +
                 cluster_.costs().access_change_cost);
     node.set_access(b, Access::kInvalid);
+    if (cluster_.config().check_coherence)
+      ccc_open_[static_cast<std::size_t>(node.id())].erase(b);
   }
 }
 
@@ -716,6 +722,122 @@ void Stache::h_direct_data(Node& self, sim::Message& m, HandlerClock& clk) {
   clk.charge(cluster_.costs().copy_time(
       static_cast<std::int64_t>(m.payload.size())));
   self.recv_sem.post(clk.t, nblocks);
+}
+
+// ---------------------------------------------------------------------------
+// Coherence-invariant checker
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Stache::find_violations() const {
+  std::vector<std::string> out;
+  auto report = [&out](const std::string& s) {
+    if (out.size() < 32) out.push_back(s);  // cap: one bug floods all blocks
+  };
+  const int np = cluster_.nnodes();
+
+  // Transaction drain: at a quiescent point every node's initiated
+  // transactions have completed, which also means every eager-upgrade entry
+  // (and with it every live dirty mask) has been consumed by a grant/deny.
+  for (int n = 0; n < np; ++n) {
+    const NodeState& st = nodes_[static_cast<std::size_t>(n)];
+    if (st.outstanding != 0) {
+      std::ostringstream os;
+      os << "node " << n << ": " << st.outstanding
+         << " transactions outstanding at quiescent point";
+      report(os.str());
+    }
+    for (const auto& [b, up] : st.upgrade) {
+      std::ostringstream os;
+      os << "node " << n << " block " << b << ": undrained eager upgrade ("
+         << up.reqs << " reqs, dirty mask 0x" << std::hex << up.mask << ")";
+      report(os.str());
+    }
+  }
+
+  // Directory engine drained: no busy entries, no queued requests.
+  for (int h = 0; h < np; ++h) {
+    for (const auto& [b, e] : dir_[static_cast<std::size_t>(h)]) {
+      if (e.busy || !e.queue.empty()) {
+        std::ostringstream os;
+        os << "home " << h << " block " << b << ": directory entry "
+           << (e.busy ? "busy" : "") << (e.busy && !e.queue.empty() ? ", " : "")
+           << (!e.queue.empty() ? "has queued requests" : "")
+           << " at quiescent point";
+        report(os.str());
+      }
+    }
+  }
+
+  // Directory belief vs. actual tags. A non-Invalid tag at node n for block
+  // b must be justified by the directory — or by a compiler-contracted open
+  // (implicit_writable), which the directory deliberately does not know
+  // about.
+  const std::size_t nblocks = cluster_.num_blocks();
+  for (BlockId b = 0; b < nblocks; ++b) {
+    const int home = cluster_.home_of(b);
+    const auto& dmap = dir_[static_cast<std::size_t>(home)];
+    const auto it = dmap.find(b);
+    const DirState state = it == dmap.end() ? DirState::kIdle
+                                            : it->second.state;
+    const std::uint64_t sharers = it == dmap.end() ? 0 : it->second.sharers;
+    const int owner = it == dmap.end() ? -1 : it->second.owner;
+    for (int n = 0; n < np; ++n) {
+      const Access a = cluster_.node(n).access(b);
+      const bool opened =
+          ccc_open_[static_cast<std::size_t>(n)].count(b) != 0;
+      if (opened) continue;  // contracted incoherence: any tag is legal
+      std::ostringstream os;
+      switch (state) {
+        case DirState::kIdle:
+          // Only the home's copy exists (its memory is the storage).
+          if (a != Access::kInvalid && n != home) {
+            os << "block " << b << " Idle at home " << home << " but node "
+               << n << " holds tag " << tempest::to_string(a);
+            report(os.str());
+          }
+          break;
+        case DirState::kShared:
+          // Read-only copies at the sharer set; nobody writable.
+          if (a == Access::kReadWrite) {
+            os << "block " << b << " Shared (sharers 0x" << std::hex
+               << sharers << std::dec << ") but node " << n
+               << " holds a writable tag";
+            report(os.str());
+          } else if (a == Access::kReadOnly && (sharers & bit(n)) == 0) {
+            os << "block " << b << " Shared (sharers 0x" << std::hex
+               << sharers << std::dec << ") but non-sharer node " << n
+               << " holds a readonly tag";
+            report(os.str());
+          }
+          break;
+        case DirState::kExcl:
+          if (n == owner) {
+            if (a != Access::kReadWrite) {
+              os << "block " << b << " Excl at node " << owner
+                 << " but the owner's tag is " << tempest::to_string(a);
+              report(os.str());
+            }
+          } else if (a != Access::kInvalid) {
+            os << "block " << b << " Excl at node " << owner << " but node "
+               << n << " holds tag " << tempest::to_string(a);
+            report(os.str());
+          }
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+void Stache::check_invariants(Node& node) {
+  const std::vector<std::string> v = find_violations();
+  if (v.empty()) return;
+  std::ostringstream os;
+  os << "coherence invariants violated at barrier (checked from node "
+     << node.id() << "): ";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << (i == 0 ? "" : "; ") << v[i];
+  FGDSM_ASSERT_MSG(false, os.str());
 }
 
 void Stache::h_ccc_flush(Node& self, sim::Message& m, HandlerClock& clk) {

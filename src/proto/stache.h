@@ -49,7 +49,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/sim/sync.h"
@@ -127,6 +129,21 @@ class Stache : public tempest::Protocol {
   DirSnapshot dir_snapshot(BlockId b) const;
   int outstanding(int node) const { return nodes_[node].outstanding; }
 
+  // ---- Coherence-invariant checker (--check-coherence) ----
+  // Validates the global protocol invariants at a quiescent point (all
+  // transactions drained, every compute task blocked except the caller's):
+  //   - no directory entry busy or with queued requests;
+  //   - per-node transaction counts and dirty-mask upgrade state drained;
+  //   - every non-Invalid tag is justified by the directory's belief (home
+  //     under Idle; sharer-set membership under Shared; the owner under
+  //     Excl) or by a compiler-contracted open (implicit_writable).
+  // Returns human-readable descriptions, empty if all invariants hold.
+  // The opened-block bookkeeping it relies on is maintained only when the
+  // cluster runs with check_coherence set.
+  std::vector<std::string> find_violations() const;
+  // tempest::Protocol hook: asserts find_violations() is empty.
+  void check_invariants(Node& node) override;
+
  private:
   struct Txn {
     enum class Kind : std::uint8_t { kRead, kWrite, kFetchExcl };
@@ -201,6 +218,10 @@ class Stache : public tempest::Protocol {
   // dir_[home][block] — only blocks that ever saw a remote request.
   std::vector<std::unordered_map<BlockId, DirEntry>> dir_;
   std::vector<NodeState> nodes_;
+  // Per node: blocks deliberately opened by implicit_writable (compiler-
+  // contracted incoherence the directory does not know about). Maintained
+  // only under ClusterConfig::check_coherence, consumed by find_violations.
+  std::vector<std::unordered_set<BlockId>> ccc_open_;
 };
 
 }  // namespace fgdsm::proto

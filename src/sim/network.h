@@ -24,6 +24,7 @@ struct Message {
   std::uint64_t addr = 0;                 // usually a global byte address
   std::array<std::int64_t, 4> arg{};      // small scalar arguments
   std::vector<std::byte> payload;         // optional data
+  std::uint64_t trace_id = 0;             // tracer flow id (0 = untraced)
 
   std::int64_t size_bytes(int header) const {
     return header + static_cast<std::int64_t>(payload.size());

@@ -4,6 +4,7 @@
 #include <bit>
 #include <limits>
 
+#include "src/sim/trace.h"
 #include "src/tempest/protocol.h"
 #include "src/util/assert.h"
 
@@ -84,6 +85,10 @@ void Cluster::tree_barrier_step(int node, sim::Time t, const SendFn& send) {
   tree_self_arrived[static_cast<std::size_t>(node)] = 0;
   tree_arrived[static_cast<std::size_t>(node)] = 0;
   if (node == 0) {
+    // Barrier complete, nothing released yet: all nodes drained and blocked
+    // — the globally quiescent point (see the centralized handler).
+    if (cfg_.check_coherence && nodes_[0]->protocol != nullptr)
+      nodes_[0]->protocol->check_invariants(*nodes_[0]);
     for (int c : {1, 2}) {
       if (c >= cfg_.nnodes) continue;
       sim::Message rel;
@@ -142,6 +147,11 @@ void Cluster::register_builtin_handlers() {
       [this](Node& self, sim::Message&, HandlerClock& clk) {
         FGDSM_ASSERT(self.id() == 0);
         if (++barrier_state.arrived == cfg_.nnodes) {
+          // Every node has drained its transactions and is blocked waiting
+          // for release: the one globally quiescent, race-free point where
+          // the protocol's invariants can be checked.
+          if (cfg_.check_coherence && self.protocol != nullptr)
+            self.protocol->check_invariants(self);
           barrier_state.arrived = 0;
           for (int i = 0; i < cfg_.nnodes; ++i) {
             sim::Message rel;
@@ -264,6 +274,15 @@ util::RunStats Cluster::run(
   const std::size_t seg = std::max<std::size_t>(segment_bytes_, cfg_.page_size);
   for (auto& n : nodes_)
     n->finalize_memory(seg, num_blocks(), cfg_.dual_cpu);
+
+  if (sim::Tracer* tr = cfg_.tracer) {
+    for (int i = 0; i < cfg_.nnodes; ++i) {
+      tr->set_track_name(sim::Tracer::compute_track(i),
+                         "node " + std::to_string(i) + " compute");
+      tr->set_track_name(sim::Tracer::protocol_track(i),
+                         "node " + std::to_string(i) + " protocol");
+    }
+  }
 
   std::vector<std::unique_ptr<sim::Task>> tasks;
   tasks.reserve(nodes_.size());

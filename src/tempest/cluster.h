@@ -60,6 +60,7 @@ class Cluster {
 
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return net_; }
+  sim::Tracer* tracer() const { return cfg_.tracer; }
   const ClusterConfig& config() const { return cfg_; }
   const sim::CostModel& costs() const { return cfg_.costs; }
   Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }

@@ -7,6 +7,10 @@
 #include "src/sim/cost_model.h"
 #include "src/util/assert.h"
 
+namespace fgdsm::sim {
+class Tracer;
+}
+
 namespace fgdsm::tempest {
 
 struct ClusterConfig {
@@ -19,6 +23,12 @@ struct ClusterConfig {
   // cluster); true = binomial-tree barriers/reductions (an ablation for the
   // synchronization-bound applications).
   bool tree_collectives = false;
+  // Run the protocol's coherence-invariant checker at each global barrier
+  // (debug aid; adds host-time cost but charges no virtual time).
+  bool check_coherence = false;
+  // Optional event tracer (not owned; null = tracing off). The tracer is
+  // passive — it records spans/flows but never charges virtual time.
+  sim::Tracer* tracer = nullptr;
   sim::CostModel costs;
 
   void validate() const {

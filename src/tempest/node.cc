@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <cstring>
 
+#include "src/sim/trace.h"
 #include "src/tempest/cluster.h"
 #include "src/tempest/protocol.h"
 #include "src/util/assert.h"
@@ -71,6 +72,9 @@ void Node::ensure_readable(sim::Task& task, GAddr addr, std::size_t len) {
     const sim::Time t0 = task.now();
     protocol->on_read_fault(*this, task, faulting);
     stats.miss_ns += task.now() - t0;
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(id_), "miss", "rd miss", t0,
+               task.now());
   }
 }
 
@@ -100,6 +104,9 @@ void Node::ensure_writable(sim::Task& task, GAddr addr, std::size_t len) {
     const sim::Time t0 = task.now();
     protocol->on_write_fault(*this, task, faulting);
     stats.miss_ns += task.now() - t0;
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(id_), "miss", "wr miss", t0,
+               task.now());
   }
 }
 
@@ -182,6 +189,9 @@ void Node::ensure_chunk(sim::Task& task, const std::vector<Extent>& reads,
       fetched.insert(faulting);
     }
     stats.miss_ns += task.now() - t0;
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(id_), "miss",
+               kind == 2 ? "wr miss" : "rd miss", t0, task.now());
   }
 }
 
@@ -195,6 +205,12 @@ void Node::send(sim::Task& task, sim::Message m) {
   ++stats.messages_sent;
   stats.bytes_sent += static_cast<std::uint64_t>(
       m.size_bytes(cluster_.costs().msg_header_bytes));
+  if (auto* tr = cluster_.tracer()) {
+    const char* what = to_string(static_cast<MsgType>(m.type));
+    m.trace_id = tr->flow_begin(
+        sim::Tracer::compute_track(id_), "msg", std::string("tx ") + what,
+        task.now() - cluster_.costs().msg_send_overhead, task.now());
+  }
   cluster_.network().send(task.now(), std::move(m));
 }
 
@@ -204,6 +220,12 @@ void Node::send_from_handler(HandlerClock& clk, sim::Message m) {
   ++stats.messages_sent;
   stats.bytes_sent += static_cast<std::uint64_t>(
       m.size_bytes(cluster_.costs().msg_header_bytes));
+  if (auto* tr = cluster_.tracer()) {
+    const char* what = to_string(static_cast<MsgType>(m.type));
+    m.trace_id = tr->flow_begin(
+        sim::Tracer::protocol_track(id_), "msg", std::string("tx ") + what,
+        clk.t - cluster_.costs().msg_send_overhead, clk.t);
+  }
   cluster_.network().send(clk.t, std::move(m));
 }
 
@@ -228,10 +250,20 @@ void Node::execute_one_handler() {
   // than the resource frees up.
   HandlerClock clk{proto_res().acquire(cluster_.engine().now(),
                                        cluster_.costs().msg_dispatch_overhead)};
+  const sim::Time h_start = clk.t;
   const Cluster::Handler& h =
       cluster_.handler(static_cast<MsgType>(pm.msg.type));
   h(*this, pm.msg, clk);
   proto_res().set_available(clk.t);
+  if (auto* tr = cluster_.tracer()) {
+    const std::string name =
+        std::string("h ") + to_string(static_cast<MsgType>(pm.msg.type));
+    if (pm.msg.trace_id != 0)
+      tr->flow_end(pm.msg.trace_id, sim::Tracer::protocol_track(id_), "msg",
+                   name, h_start, clk.t);
+    else
+      tr->span(sim::Tracer::protocol_track(id_), "msg", name, h_start, clk.t);
+  }
   if (!inbox_.empty())
     schedule_next_handler(inbox_.front().arrival > clk.t
                               ? inbox_.front().arrival
@@ -257,8 +289,18 @@ void Node::barrier(sim::Task& task) {
       send(task, std::move(m));
     }
     barrier_sem.wait(task);
+    // The coherence check itself happens at the barrier's completion point
+    // (the last arrival at the root — see Cluster), not here: by the time a
+    // release reaches this node, earlier-released nodes may already be
+    // issuing new requests.
+  } else if (cluster_.config().check_coherence && protocol != nullptr) {
+    // Single node: drained means quiescent.
+    protocol->check_invariants(*this);
   }
   stats.sync_ns += task.now() - t0;
+  if (auto* tr = cluster_.tracer())
+    tr->span(sim::Tracer::compute_track(id_), "sync", "barrier", t0,
+             task.now());
 }
 
 double Node::allreduce(sim::Task& task, double v, ReduceOp op) {
@@ -291,6 +333,9 @@ double Node::allreduce(sim::Task& task, double v, ReduceOp op) {
   }
   reduce_sem.wait(task);
   stats.sync_ns += task.now() - t0;
+  if (auto* tr = cluster_.tracer())
+    tr->span(sim::Tracer::compute_track(id_), "sync", "allreduce", t0,
+             task.now());
   return reduce_result;
 }
 

@@ -40,6 +40,14 @@ class Protocol {
     (void)addr;
     (void)len;
   }
+
+  // Debug aid (--check-coherence): called when the last arrival completes a
+  // barrier at the root, before any release is sent — every node has drained
+  // its transactions and sits blocked, so the cluster is globally quiescent.
+  // Implementations validate their global invariants — directory belief vs.
+  // actual per-node tags, transaction and dirty-mask drain — and abort on
+  // violation. Must not charge virtual time.
+  virtual void check_invariants(Node& node) { (void)node; }
 };
 
 }  // namespace fgdsm::tempest

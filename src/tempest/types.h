@@ -64,6 +64,30 @@ enum class MsgType : std::uint16_t {
   kCount
 };
 
+inline const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kReadReq: return "read_req";
+    case MsgType::kPutDataReq: return "put_data_req";
+    case MsgType::kPutDataResp: return "put_data_resp";
+    case MsgType::kReadResp: return "read_resp";
+    case MsgType::kWriteReq: return "write_req";
+    case MsgType::kInval: return "inval";
+    case MsgType::kInvalAck: return "inval_ack";
+    case MsgType::kWriteGrant: return "write_grant";
+    case MsgType::kFetchExclReq: return "fetch_excl_req";
+    case MsgType::kFetchExclResp: return "fetch_excl_resp";
+    case MsgType::kDirectData: return "direct_data";
+    case MsgType::kCccFlush: return "ccc_flush";
+    case MsgType::kMpData: return "mp_data";
+    case MsgType::kBarrierArrive: return "barrier_arrive";
+    case MsgType::kBarrierRelease: return "barrier_release";
+    case MsgType::kReduceUp: return "reduce_up";
+    case MsgType::kReduceDown: return "reduce_down";
+    case MsgType::kCount: break;
+  }
+  return "?";
+}
+
 // Virtual clock of an active-message handler while it executes. Handlers are
 // run-to-completion user-level code (Tempest's model); their occupancy lands
 // on the node's protocol resource (dual-cpu: the dedicated second processor;

@@ -1,0 +1,137 @@
+#include "src/util/json.h"
+
+#include <cstdio>
+
+namespace fgdsm::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  // Integral doubles print as integers (stable and friendlier to schema
+  // checks); everything else as %.17g, which round-trips exactly.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v > -1e15 && v < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i)
+    for (int j = 0; j < indent_width_; ++j) os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Ctx::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Ctx::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+}
+
+void JsonWriter::key(const std::string& k) {
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  newline_indent();
+  os_ << '"' << json_escape(k) << "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(const std::string& s) {
+  before_value();
+  os_ << '"' << json_escape(s) << '"';
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  os_ << json_double(v);
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+void JsonWriter::value_raw(const std::string& literal) {
+  before_value();
+  os_ << literal;
+}
+
+}  // namespace fgdsm::util

@@ -1,0 +1,76 @@
+// Minimal streaming JSON writer with deterministic output — the machine-
+// readable side of the observability layer (bench --json reports, Chrome
+// trace_event export). Emits pretty-printed UTF-8 with stable number
+// formatting, so two runs that compute identical values produce
+// byte-identical files regardless of host thread count or locale.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fgdsm::util {
+
+// Escape a string for inclusion inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+// Format a double exactly as the writer would ("%.17g" trimmed to the
+// shortest round-trip form is deliberately NOT attempted: fixed %.17g is
+// stable and byte-identical everywhere).
+std::string json_double(double v);
+
+// Structured writer. Usage:
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.key("config"); w.begin_object(); ... w.end_object();
+//   w.key("runs"); w.begin_array(); ... w.end_array();
+//   w.end_object();
+// The writer tracks nesting and inserts commas/newlines; destruction with
+// unbalanced begin/end is an assertion failure in tests' debug builds but
+// otherwise harmless (the stream simply ends early).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent_width = 2)
+      : os_(os), indent_width_(indent_width) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(const std::string& k);
+
+  void value(const std::string& s);
+  void value(const char* s) { value(std::string(s)); }
+  void value(bool b);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  void null();
+  // Pre-formatted JSON literal (a number the caller formatted itself).
+  void value_raw(const std::string& literal);
+
+  // key + scalar in one call.
+  template <typename T>
+  void kv(const std::string& k, T v) {
+    key(k);
+    value(v);
+  }
+
+  bool balanced() const { return stack_.empty(); }
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_width_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_;   // parallel to stack_: no comma yet?
+  bool key_pending_ = false;  // a key was written; next value follows inline
+};
+
+}  // namespace fgdsm::util

@@ -1,8 +1,23 @@
 #include "src/util/options.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace fgdsm::util {
+
+namespace {
+
+// Malformed numeric values must not silently become 0 (strtoll/strtod's
+// behaviour): a typo like --scale=0.5x would quietly run a different
+// experiment. Reject anything but a fully-consumed number.
+[[noreturn]] void bad_value(const std::string& name, const std::string& v,
+                            const char* kind) {
+  std::fprintf(stderr, "fgdsm: invalid %s value '%s' for --%s\n", kind,
+               v.c_str(), name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 Options::Options(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -34,13 +49,23 @@ std::int64_t Options::get_int(const std::string& name,
                               std::int64_t def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& v = it->second;
+  char* end = nullptr;
+  const std::int64_t r = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size())
+    bad_value(name, v, "integer");
+  return r;
 }
 
 double Options::get_double(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& v = it->second;
+  char* end = nullptr;
+  const double r = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size())
+    bad_value(name, v, "numeric");
+  return r;
 }
 
 bool Options::get_bool(const std::string& name, bool def) const {

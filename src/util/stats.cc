@@ -1,6 +1,7 @@
 #include "src/util/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/util/assert.h"
@@ -8,24 +9,12 @@
 namespace fgdsm::util {
 
 NodeStats& NodeStats::operator+=(const NodeStats& o) {
-  read_misses += o.read_misses;
-  write_misses += o.write_misses;
-  invalidations_received += o.invalidations_received;
-  ccc_blocks_sent += o.ccc_blocks_sent;
-  ccc_messages_sent += o.ccc_messages_sent;
-  ccc_runtime_calls += o.ccc_runtime_calls;
-  ccc_calls_elided += o.ccc_calls_elided;
-  plan_cache_hits += o.plan_cache_hits;
-  plan_cache_misses += o.plan_cache_misses;
-  messages_sent += o.messages_sent;
-  bytes_sent += o.bytes_sent;
-  barriers += o.barriers;
-  reductions += o.reductions;
-  compute_ns += o.compute_ns;
-  miss_ns += o.miss_ns;
-  ccc_ns += o.ccc_ns;
-  sync_ns += o.sync_ns;
-  handler_steal_ns += o.handler_steal_ns;
+  visit_members([&](const char*, auto mem) { this->*mem += o.*mem; });
+  return *this;
+}
+
+NodeStats& NodeStats::operator-=(const NodeStats& o) {
+  visit_members([&](const char*, auto mem) { this->*mem -= o.*mem; });
   return *this;
 }
 
@@ -54,14 +43,18 @@ double RunStats::avg_compute_ns_per_node() const {
 }
 
 std::string format_ns(std::int64_t ns) {
+  // Pick the unit by magnitude and keep the sign, so negative durations
+  // (deltas can legitimately go negative) render as "-2.50 ms", not as a
+  // raw nanosecond count.
   char buf[64];
-  const double d = static_cast<double>(ns);
-  if (ns >= 1'000'000'000)
-    std::snprintf(buf, sizeof buf, "%.3f s", d / 1e9);
-  else if (ns >= 1'000'000)
-    std::snprintf(buf, sizeof buf, "%.2f ms", d / 1e6);
-  else if (ns >= 1'000)
-    std::snprintf(buf, sizeof buf, "%.2f us", d / 1e3);
+  const double d = std::abs(static_cast<double>(ns));
+  const char* sign = ns < 0 ? "-" : "";
+  if (d >= 1e9)
+    std::snprintf(buf, sizeof buf, "%s%.3f s", sign, d / 1e9);
+  else if (d >= 1e6)
+    std::snprintf(buf, sizeof buf, "%s%.2f ms", sign, d / 1e6);
+  else if (d >= 1e3)
+    std::snprintf(buf, sizeof buf, "%s%.2f us", sign, d / 1e3);
   else
     std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns));
   return buf;

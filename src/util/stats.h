@@ -53,13 +53,49 @@ struct NodeStats {
   std::int64_t comm_ns() const { return miss_ns + ccc_ns + sync_ns; }
   std::uint64_t total_misses() const { return read_misses + write_misses; }
 
+  // The one canonical field list. Every aggregate (+=, -=), the JSON report
+  // and the field-completeness test derive from it, so a new counter added
+  // above but forgotten here fails the sizeof tripwire in tests.
+  template <typename Fn>
+  static void visit_members(Fn&& fn) {
+    fn("read_misses", &NodeStats::read_misses);
+    fn("write_misses", &NodeStats::write_misses);
+    fn("invalidations_received", &NodeStats::invalidations_received);
+    fn("ccc_blocks_sent", &NodeStats::ccc_blocks_sent);
+    fn("ccc_messages_sent", &NodeStats::ccc_messages_sent);
+    fn("ccc_runtime_calls", &NodeStats::ccc_runtime_calls);
+    fn("ccc_calls_elided", &NodeStats::ccc_calls_elided);
+    fn("plan_cache_hits", &NodeStats::plan_cache_hits);
+    fn("plan_cache_misses", &NodeStats::plan_cache_misses);
+    fn("messages_sent", &NodeStats::messages_sent);
+    fn("bytes_sent", &NodeStats::bytes_sent);
+    fn("barriers", &NodeStats::barriers);
+    fn("reductions", &NodeStats::reductions);
+    fn("compute_ns", &NodeStats::compute_ns);
+    fn("miss_ns", &NodeStats::miss_ns);
+    fn("ccc_ns", &NodeStats::ccc_ns);
+    fn("sync_ns", &NodeStats::sync_ns);
+    fn("handler_steal_ns", &NodeStats::handler_steal_ns);
+  }
+  // Name/value visitation (works on const and non-const stats).
+  template <typename S, typename Fn>
+  static void visit_fields(S& s, Fn&& fn) {
+    visit_members([&](const char* name, auto mem) { fn(name, s.*mem); });
+  }
+
   NodeStats& operator+=(const NodeStats& o);
+  NodeStats& operator-=(const NodeStats& o);
 };
 
 // Whole-run statistics: one NodeStats per node plus run-level results.
 struct RunStats {
   std::vector<NodeStats> node;
   std::int64_t elapsed_ns = 0;  // max node finish time
+  // Per-parallel-loop attribution: loop name -> the summed-over-nodes delta
+  // of every counter while that loop (including its communication schedule
+  // and end-of-loop synchronization) executed. Populated by the executor at
+  // phase boundaries; empty for runs driven outside exec::run.
+  std::map<std::string, NodeStats> per_loop;
 
   explicit RunStats(int nnodes = 0) : node(nnodes) {}
 

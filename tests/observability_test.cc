@@ -1,0 +1,355 @@
+// Run-level observability: the event tracer, per-loop phase attribution,
+// the --check-coherence protocol invariant checker, and the NodeStats
+// aggregation machinery they all depend on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/apps.h"
+#include "src/exec/executor.h"
+#include "src/proto/stache.h"
+#include "src/sim/trace.h"
+#include "src/tempest/cluster.h"
+#include "src/util/assert.h"
+#include "src/util/json.h"
+#include "src/util/options.h"
+#include "src/util/stats.h"
+
+namespace fgdsm {
+namespace {
+
+using tempest::Access;
+using tempest::Cluster;
+using tempest::ClusterConfig;
+using tempest::GAddr;
+using tempest::Node;
+
+// ---------------------------------------------------------------------------
+// NodeStats completeness. Every field must flow through visit_members (which
+// drives +=, -=, totals() and the JSON emission). The sizeof tripwire makes
+// adding a field without extending the visitor a compile error.
+
+static_assert(sizeof(util::NodeStats) == 18 * 8,
+              "NodeStats changed size: extend visit_members (stats.h) and "
+              "update this tripwire");
+
+TEST(NodeStats, VisitorCoversEveryField) {
+  std::size_t count = 0;
+  util::NodeStats s;
+  util::NodeStats::visit_fields(s, [&](const char*, auto) { ++count; });
+  EXPECT_EQ(count, 18u);
+}
+
+TEST(NodeStats, AccumulateRoundTripsAllDistinctValues) {
+  // Give every field a distinct value so a field dropped from += or -=
+  // cannot cancel against another.
+  util::NodeStats a;
+  std::uint64_t v = 1;
+  util::NodeStats::visit_members(
+      [&](const char*, auto mem) { a.*mem = v++; });
+
+  util::NodeStats acc;
+  acc += a;
+  acc += a;
+  util::NodeStats::visit_members([&](const char* name, auto mem) {
+    EXPECT_EQ(static_cast<std::uint64_t>(acc.*mem),
+              2 * static_cast<std::uint64_t>(a.*mem))
+        << name;
+  });
+
+  acc -= a;
+  acc -= a;
+  util::NodeStats::visit_members([&](const char* name, auto mem) {
+    EXPECT_EQ(static_cast<std::uint64_t>(acc.*mem), 0u) << name;
+  });
+}
+
+TEST(RunStats, TotalsSumEveryFieldAcrossNodes) {
+  util::RunStats rs;
+  rs.node.resize(3);
+  std::uint64_t v = 1;
+  for (auto& n : rs.node)
+    util::NodeStats::visit_members(
+        [&](const char*, auto mem) { n.*mem = v++; });
+  const util::NodeStats tot = rs.totals();
+  util::NodeStats::visit_members([&](const char* name, auto mem) {
+    std::uint64_t want = 0;
+    for (const auto& n : rs.node)
+      want += static_cast<std::uint64_t>(n.*mem);
+    EXPECT_EQ(static_cast<std::uint64_t>(tot.*mem), want) << name;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// format_ns: negative durations keep their sign and format by magnitude
+// (previously the threshold comparisons all failed for ns < 0 and the value
+// fell through to the raw-ns branch).
+
+TEST(FormatNs, NegativeDurations) {
+  EXPECT_EQ(util::format_ns(-1'500'000'000), "-1.500 s");
+  EXPECT_EQ(util::format_ns(-2'500'000), "-2.50 ms");
+  EXPECT_EQ(util::format_ns(-42'000), "-42.00 us");
+  EXPECT_EQ(util::format_ns(-999), "-999 ns");
+  EXPECT_EQ(util::format_ns(0), "0 ns");
+}
+
+// ---------------------------------------------------------------------------
+// Options: malformed numeric values are fatal (exit 2), not silently 0.
+
+TEST(OptionsStrict, MalformedIntegerExits) {
+  const char* argv[] = {"prog", "--nodes=8x"};
+  util::Options o(2, argv);
+  EXPECT_EXIT((void)o.get_int("nodes", 8), ::testing::ExitedWithCode(2),
+              "invalid integer value '8x' for --nodes");
+}
+
+TEST(OptionsStrict, MalformedDoubleExits) {
+  const char* argv[] = {"prog", "--scale=0.5x"};
+  util::Options o(2, argv);
+  EXPECT_EXIT((void)o.get_double("scale", 1.0), ::testing::ExitedWithCode(2),
+              "invalid numeric value '0.5x' for --scale");
+}
+
+TEST(OptionsStrict, EmptyValueExits) {
+  const char* argv[] = {"prog", "--jobs="};
+  util::Options o(2, argv);
+  EXPECT_EXIT((void)o.get_int("jobs", 1), ::testing::ExitedWithCode(2),
+              "invalid integer value '' for --jobs");
+}
+
+TEST(OptionsStrict, WellFormedValuesStillParse) {
+  const char* argv[] = {"prog", "--nodes=-3", "--scale=2.5e-1"};
+  util::Options o(3, argv);
+  EXPECT_EQ(o.get_int("nodes", 0), -3);
+  EXPECT_DOUBLE_EQ(o.get_double("scale", 0), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter: structure, escaping, and the raw-literal path the tracer uses.
+
+TEST(JsonWriter, EmitsValidStructure) {
+  std::ostringstream os;
+  {
+    util::JsonWriter w(os);
+    w.begin_object();
+    w.kv("name", "a\"b\\c\n");
+    w.key("list");
+    w.begin_array();
+    w.value(1);
+    w.value_raw("2.500");
+    w.value(true);
+    w.null();
+    w.end_array();
+    w.kv("n", static_cast<std::int64_t>(-7));
+    w.end_object();
+    EXPECT_TRUE(w.balanced());
+  }
+  EXPECT_EQ(os.str(),
+            "{\n  \"name\": \"a\\\"b\\\\c\\n\",\n  \"list\": [\n    1,\n"
+            "    2.500,\n    true,\n    null\n  ],\n  \"n\": -7\n}");
+}
+
+// ---------------------------------------------------------------------------
+// Per-loop phase attribution.
+
+exec::RunConfig jacobi_config() {
+  exec::RunConfig cfg;
+  cfg.cluster.nnodes = 4;
+  cfg.cluster.block_size = 128;
+  cfg.cluster.dual_cpu = true;
+  cfg.opt = core::shmem_opt_full();
+  cfg.gather_arrays = false;
+  return cfg;
+}
+
+TEST(PerLoop, JacobiAttributesPhases) {
+  const hpf::Program prog = apps::jacobi(48, 4);
+  const exec::RunResult r = exec::run(prog, jacobi_config());
+  ASSERT_FALSE(r.stats.per_loop.empty());
+  EXPECT_TRUE(r.stats.per_loop.count("init"));
+  EXPECT_TRUE(r.stats.per_loop.count("sweep-uv"));
+
+  const util::NodeStats tot = r.stats.totals();
+  util::NodeStats loops;
+  for (const auto& [name, s] : r.stats.per_loop) loops += s;
+  // Every miss happens inside some parallel loop; compute/sync also accrue
+  // in the serial glue between loops, so those only bound from below.
+  EXPECT_EQ(loops.read_misses, tot.read_misses);
+  EXPECT_EQ(loops.write_misses, tot.write_misses);
+  EXPECT_LE(loops.compute_ns, tot.compute_ns);
+  EXPECT_LE(loops.sync_ns, tot.sync_ns);
+  EXPECT_GT(loops.compute_ns, 0u);
+  EXPECT_GT(r.stats.per_loop.at("sweep-uv").compute_ns, 0u);
+}
+
+TEST(PerLoop, SerialRunAttributesToo) {
+  const hpf::Program prog = apps::jacobi(32, 2);
+  exec::RunConfig cfg = jacobi_config();
+  cfg.cluster.nnodes = 1;
+  cfg.opt = core::serial();
+  const exec::RunResult r = exec::run(prog, cfg);
+  EXPECT_FALSE(r.stats.per_loop.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: a traced run writes structurally valid trace-event JSON and does
+// not perturb the simulation.
+
+// Light structural validation: brackets/braces balance outside strings.
+bool json_balanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_str = false, esc = false;
+  for (char c : s) {
+    if (in_str) {
+      if (esc) esc = false;
+      else if (c == '\\') esc = true;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_str = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_str && stack.empty();
+}
+
+TEST(Tracer, JacobiTraceIsValidAndPassive) {
+  const hpf::Program prog = apps::jacobi(48, 3);
+  const exec::RunResult plain = exec::run(prog, jacobi_config());
+
+  const std::string path = ::testing::TempDir() + "fgdsm_trace_test.json";
+  exec::RunConfig cfg = jacobi_config();
+  cfg.trace_path = path;
+  const exec::RunResult traced = exec::run(prog, cfg);
+
+  // Zero perturbation: identical simulated results with tracing on.
+  EXPECT_EQ(plain.stats.elapsed_ns, traced.stats.elapsed_ns);
+  const util::NodeStats a = plain.stats.totals();
+  const util::NodeStats b = traced.stats.totals();
+  util::NodeStats::visit_members([&](const char* name, auto mem) {
+    EXPECT_EQ(a.*mem, b.*mem) << name;
+  });
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  std::remove(path.c_str());
+
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_TRUE(json_balanced(text));
+  // Compute, sync, miss and protocol-handler spans all present.
+  EXPECT_NE(text.find("\"barrier\""), std::string::npos);
+  EXPECT_NE(text.find("\"rd miss\""), std::string::npos);
+  EXPECT_NE(text.find("\"h read_req\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  // Message flows: sends bind to their remote dispatch.
+  EXPECT_NE(text.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"f\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Coherence invariant checker.
+
+TEST(CheckCoherence, FullAppSuitePassesUnchangedResults) {
+  for (const auto& app : apps::registry()) {
+    const hpf::Program prog = app.scaled(0.05);
+    for (const core::Options& opt :
+         {core::shmem_unopt(), core::shmem_opt_full()}) {
+      exec::RunConfig cfg = jacobi_config();
+      cfg.opt = opt;
+      const exec::RunResult plain = exec::run(prog, cfg);
+      cfg.cluster.check_coherence = true;
+      const exec::RunResult checked = exec::run(prog, cfg);
+      EXPECT_EQ(plain.stats.elapsed_ns, checked.stats.elapsed_ns)
+          << app.name << " " << opt.label();
+    }
+  }
+}
+
+TEST(CheckCoherence, DetectsCorruptedTag) {
+  ClusterConfig cc;
+  cc.nnodes = 4;
+  cc.block_size = 64;
+  cc.check_coherence = true;
+  Cluster c(cc);
+  proto::Stache proto(c);
+  const GAddr a = c.allocate("x", 256);
+  EXPECT_THROW(
+      c.run([&](Node& n, sim::Task& t) {
+        if (n.id() == 1) {
+          n.ensure_readable(t, a, 8);  // dir: Shared, sharers {0?, 1}
+          // Corrupt: promote the read-only copy behind the directory's back
+          // (no upgrade request, no CCC contract).
+          n.set_access(c.block_of(a), Access::kReadWrite);
+        }
+        n.barrier(t);
+      }),
+      AssertionError);
+}
+
+TEST(CheckCoherence, DetectsDirectoryTagMismatchDirectly) {
+  ClusterConfig cc;
+  cc.nnodes = 2;
+  cc.block_size = 64;
+  cc.check_coherence = true;
+  Cluster c(cc);
+  proto::Stache proto(c);
+  const GAddr a = c.allocate("x", 256);
+  c.run([&](Node& n, sim::Task& t) {
+    if (n.id() == 1) n.ensure_readable(t, a, 8);
+    n.barrier(t);
+  });
+  EXPECT_TRUE(proto.find_violations().empty());
+  // Reader invalidates its copy without telling the home: the directory
+  // still believes node 1 shares the block. That direction (stale belief,
+  // superset of reality) is legal. The reverse — a writable tag the
+  // directory does not know about — is not.
+  c.node(1).set_access(c.block_of(a), Access::kReadWrite);
+  const std::vector<std::string> v = proto.find_violations();
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("writable tag"), std::string::npos);
+}
+
+TEST(CheckCoherence, CccOpenedBlocksAreExempt) {
+  ClusterConfig cc;
+  cc.nnodes = 2;
+  cc.block_size = 64;
+  cc.check_coherence = true;
+  Cluster c(cc);
+  proto::Stache proto(c);
+  const GAddr a = c.allocate("x", 256);
+  const tempest::BlockId b = c.block_of(a);
+  // implicit_writable breaks tag/directory agreement BY CONTRACT (§4 of the
+  // paper): the checker must not flag compiler-contracted incoherence.
+  c.run([&](Node& n, sim::Task& t) {
+    if (n.id() == 1) {
+      n.ensure_readable(t, a, 8);
+      proto.implicit_writable(n, t, b, b);
+    }
+    n.barrier(t);
+    if (n.id() == 1) proto.implicit_invalidate(n, t, b, b);
+    n.barrier(t);
+  });
+}
+
+}  // namespace
+}  // namespace fgdsm
