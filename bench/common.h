@@ -17,6 +17,13 @@
 //                   single-config harness) to pick the traced run
 //   --per-loop      print the per-parallel-loop breakdown after each table
 //   --check-coherence  run the protocol invariant checker at every barrier
+//   --faults=<spec> chaos mode: deterministic fault injection + reliable
+//                   transport (drop=P,dup=P,delay=P,reorder=P,delay-ns=N,
+//                   rto-ns=N,retries=K,seed=S); see src/sim/fault.h
+//   --watchdog-ns=<n>  virtual-time stall watchdog (default 2e9 with
+//                   --faults, otherwise off); stalls exit with code 86
+//
+// Unrecognized --flags are fatal (exit 2) with a closest-match suggestion.
 //
 // Harnesses build their whole (app x configuration) sweep as a matrix of
 // ExperimentSpecs and execute it through run_matrix, which fans the
@@ -35,6 +42,8 @@
 #include "src/core/options.h"
 #include "src/exec/batch.h"
 #include "src/exec/executor.h"
+#include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/util/json.h"
 #include "src/util/options.h"
 #include "src/util/stats.h"
@@ -53,6 +62,11 @@ inline bool g_check_coherence = false;
 // one configuration per app) to choose which.
 inline std::string g_trace_path;
 inline bool g_trace_assigned = false;
+// --faults=<spec>: every spec built by make_spec runs under deterministic
+// chaos (fault injector + reliable channel). Disabled by default.
+inline sim::FaultConfig g_faults;
+// --watchdog-ns=<n>: virtual-time stall threshold for every spec (0 = off).
+inline sim::Time g_watchdog_ns = 0;
 
 struct BenchConfig {
   double scale = 0.15;
@@ -64,9 +78,21 @@ struct BenchConfig {
   std::string json_path;       // --json=<file>; empty = off
   std::string trace_path;      // --trace=<file>; empty = off
   bool check_coherence = false;
+  sim::FaultConfig faults;     // --faults=<spec>; disabled by default
+  sim::Time watchdog_ns = 0;   // --watchdog-ns=<n>; 0 = off
 
-  static BenchConfig from_args(int argc, const char* const* argv) {
+  // `extra_known` declares harness-specific flags beyond the shared set
+  // (strict mode rejects everything else).
+  static BenchConfig from_args(int argc, const char* const* argv,
+                               const std::vector<std::string>& extra_known =
+                                   {}) {
     util::Options o(argc, argv);
+    std::vector<std::string> known = {
+        "scale", "nodes",     "block", "app",   "jobs",
+        "plan-cache", "full", "json",  "trace", "per-loop",
+        "check-coherence", "faults", "watchdog-ns"};
+    known.insert(known.end(), extra_known.begin(), extra_known.end());
+    o.check_known(known);
     BenchConfig c;
     c.scale = o.get_double("scale", o.get_bool("full") ? 1.0 : 0.15);
     c.nodes = static_cast<int>(o.get_int("nodes", 8));
@@ -78,7 +104,22 @@ struct BenchConfig {
     if (o.has("json")) c.json_path = o.get("json");
     if (o.has("trace")) c.trace_path = o.get("trace");
     c.check_coherence = o.get_bool("check-coherence");
+    if (o.has("faults")) {
+      std::string err;
+      c.faults = sim::FaultConfig::parse(o.get("faults"), &err);
+      if (!err.empty()) {
+        std::fprintf(stderr, "fgdsm: bad --faults spec: %s\n", err.c_str());
+        std::exit(2);
+      }
+    }
+    // A fault run that wedges should diagnose itself, not hang CI: the
+    // watchdog defaults on (2e9 virtual ns — far past any legitimate
+    // barrier interval at these scales) whenever faults are enabled.
+    c.watchdog_ns = static_cast<sim::Time>(o.get_int(
+        "watchdog-ns", c.faults.enabled ? 2'000'000'000 : 0));
     g_check_coherence = c.check_coherence;
+    g_faults = c.faults;
+    g_watchdog_ns = c.watchdog_ns;
     g_trace_path = c.trace_path;
     g_trace_assigned = false;
     return c;
@@ -104,6 +145,8 @@ inline exec::ExperimentSpec make_spec(const hpf::Program& prog,
   s.config.opt.plan_cache = g_plan_cache;
   s.config.gather_arrays = false;
   s.config.cluster.check_coherence = g_check_coherence;
+  s.config.cluster.faults = g_faults;
+  s.config.cluster.watchdog_ns = g_watchdog_ns;
   if (!g_trace_path.empty() && !g_trace_assigned) {
     s.config.trace_path = g_trace_path;
     g_trace_assigned = true;
@@ -250,11 +293,18 @@ class RunMatrix {
   }
 
   // Execute every cell on `jobs` host threads. Results are byte-identical
-  // for any job count (see exec::BatchRunner).
+  // for any job count (see exec::BatchRunner). A stalled simulation (the
+  // watchdog fired or a channel retry budget ran out) terminates the whole
+  // harness with the structured diagnostic and exit code 86.
   void run(int jobs) {
-    const std::vector<exec::RunResult> out =
-        exec::BatchRunner(jobs).run_all(specs_);
-    for (std::size_t i = 0; i < out.size(); ++i) results_[keys_[i]] = out[i];
+    try {
+      const std::vector<exec::RunResult> out =
+          exec::BatchRunner(jobs).run_all(specs_);
+      for (std::size_t i = 0; i < out.size(); ++i)
+        results_[keys_[i]] = out[i];
+    } catch (const sim::StallError& e) {
+      sim::exit_stall(e);
+    }
   }
 
   const exec::RunResult& at(const std::string& row,
@@ -291,7 +341,11 @@ inline exec::RunResult run_app(const hpf::Program& prog,
                                const core::Options& opt, int nodes,
                                bool dual_cpu, std::size_t block) {
   const exec::ExperimentSpec s = make_spec(prog, opt, nodes, dual_cpu, block);
-  return exec::run(*s.program, s.config);
+  try {
+    return exec::run(*s.program, s.config);
+  } catch (const sim::StallError& e) {
+    sim::exit_stall(e);
+  }
 }
 
 inline double speedup(const exec::RunResult& serial,

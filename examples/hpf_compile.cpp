@@ -42,6 +42,7 @@ END
 
 int main(int argc, char** argv) {
   util::Options o(argc, argv);
+  o.check_known({"nodes"});
   const int nodes = static_cast<int>(o.get_int("nodes", 4));
   std::string source = kDemo;
   if (!o.positional().empty()) {

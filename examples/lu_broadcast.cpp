@@ -14,6 +14,7 @@ using namespace fgdsm;
 
 int main(int argc, char** argv) {
   util::Options o(argc, argv);
+  o.check_known({"n", "nodes"});
   const std::int64_t n = o.get_int("n", 256);
   const int nodes = static_cast<int>(o.get_int("nodes", 8));
   const hpf::Program prog = apps::lu(n);

@@ -107,6 +107,7 @@ static hpf::Program heat2d(std::int64_t n, std::int64_t steps) {
 
 int main(int argc, char** argv) {
   util::Options o(argc, argv);
+  o.check_known({"n", "steps", "nodes"});
   const std::int64_t n = o.get_int("n", 256);
   const std::int64_t steps = o.get_int("steps", 20);
   const int nodes = static_cast<int>(o.get_int("nodes", 8));

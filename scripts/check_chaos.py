@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Chaos-run validation for the CI chaos job.
+
+Usage: scripts/check_chaos.py BASELINE.json CHAOS.json [CHAOS2.json ...]
+
+Asserts, for each chaos file against the fault-free baseline:
+  - the same set of (app, config) runs is present;
+  - every application scalar (checksums, residuals) is bit-identical —
+    the reliable channel must hide drops/dups/delays completely;
+  - the chaos run actually injected faults and recovered from them
+    (faults_dropped > 0 and retransmits > 0 in the summed totals).
+Elapsed time is deliberately NOT compared: delays/reordering shift protocol
+race outcomes (write contention, invalidation timing), so a chaos run may
+legitimately finish earlier or later than the baseline — only the
+application results must be identical.
+Exits non-zero with a diagnostic on the first violation.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_chaos: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def runs_by_key(d):
+    return {(r["app"], r["config"]): r for r in d["runs"]}
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        base = runs_by_key(json.load(f))
+    for path in sys.argv[2:]:
+        with open(path) as f:
+            chaos = runs_by_key(json.load(f))
+        if base.keys() != chaos.keys():
+            fail(f"{path}: run set differs from baseline "
+                 f"({sorted(base.keys() ^ chaos.keys())})")
+        dropped = retx = 0
+        for key, cr in chaos.items():
+            br = base[key]
+            if br["scalars"] != cr["scalars"]:
+                fail(f"{path}: {key}: scalars differ from fault-free run\n"
+                     f"  baseline: {br['scalars']}\n  chaos:    {cr['scalars']}")
+            dropped += cr["totals"]["faults_dropped"]
+            retx += cr["totals"]["retransmits"]
+        if dropped == 0 or retx == 0:
+            fail(f"{path}: no faults were injected/recovered "
+                 f"(dropped={dropped}, retransmits={retx}) — chaos run "
+                 f"is vacuous; check the --faults spec")
+        print(f"{path}: ok ({len(chaos)} runs, {dropped} drops hidden by "
+              f"{retx} retransmissions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

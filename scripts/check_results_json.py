@@ -15,7 +15,10 @@ STATS_COUNTERS = (
     "read_misses", "write_misses", "invalidations_received",
     "ccc_blocks_sent", "ccc_messages_sent", "ccc_runtime_calls",
     "ccc_calls_elided", "plan_cache_hits", "plan_cache_misses",
-    "messages_sent", "bytes_sent", "barriers", "reductions",
+    "messages_sent", "bytes_sent",
+    "retransmits", "channel_acks", "dup_suppressed",
+    "faults_dropped", "faults_duplicated", "faults_delayed",
+    "barriers", "reductions",
 )
 STATS_TIMES = ("compute_ns", "miss_ns", "ccc_ns", "sync_ns",
                "handler_steal_ns", "comm_ns")

@@ -6,6 +6,11 @@
 #   scripts/ci.sh sanitize   ASan+UBSan build + ctest (the batch runner
 #                            introduces host threads; sanitizers gate races
 #                            and UB in the concurrent path)
+#   scripts/ci.sh chaos      fault-injection gauntlet: the full app suite
+#                            under --faults at two seeds with the coherence
+#                            checker on; results must be bit-identical to
+#                            the fault-free baseline, and a 100%-drop run
+#                            must terminate via the stall watchdog (exit 86)
 # Extra cmake args may follow the job name.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,8 +45,41 @@ case "$job" in
     ASAN_OPTIONS="detect_stack_use_after_return=0" \
       ctest --test-dir build-asan --output-on-failure -j "$jobs"
     ;;
+  chaos)
+    cmake -B build -S . "$@"
+    cmake --build build -j "$jobs" --target bench_table3
+    mkdir -p results
+    # Fault-free baseline, then the same sweep under chaos at two seeds.
+    build/bench/bench_table3 --scale=0.05 --jobs="$jobs" --check-coherence \
+      --json=results/chaos_baseline.json
+    for seed in 1 2; do
+      build/bench/bench_table3 --scale=0.05 --jobs="$jobs" --check-coherence \
+        --faults="drop=0.01,dup=0.002,delay=0.05,reorder=0.01,seed=$seed" \
+        --json="results/chaos_seed$seed.json"
+    done
+    python3 scripts/check_results_json.py results/chaos_baseline.json \
+      results/chaos_seed1.json results/chaos_seed2.json
+    python3 scripts/check_chaos.py results/chaos_baseline.json \
+      results/chaos_seed1.json results/chaos_seed2.json
+    # Liveness failure path: a fully dead network must terminate with the
+    # documented stall exit code and name the dead link — never hang.
+    rc=0
+    build/bench/bench_table3 --app=jacobi --scale=0.05 --check-coherence \
+      --faults="drop=1.0,retries=0,seed=1" >/dev/null 2>results/chaos_stall.log \
+      || rc=$?
+    if [[ "$rc" -ne 86 ]]; then
+      echo "chaos: expected stall exit code 86 from dead network, got $rc" >&2
+      exit 1
+    fi
+    grep -q "retry budget exhausted on link" results/chaos_stall.log || {
+      echo "chaos: stall diagnostic missing dead-link description:" >&2
+      cat results/chaos_stall.log >&2
+      exit 1
+    }
+    echo "chaos: dead-network run correctly exited 86 with link diagnostic"
+    ;;
   *)
-    echo "unknown job '$job' (expected: verify | sanitize)" >&2
+    echo "unknown job '$job' (expected: verify | sanitize | chaos)" >&2
     exit 2
     ;;
 esac

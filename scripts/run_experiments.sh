@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Regenerate every paper table/figure. Usage:
 #   scripts/run_experiments.sh [--full] [--scale=S] [--nodes=N] [--jobs=J]
-# Results land in results/ (one file per experiment).
+#                              [--faults=SPEC] [--check-coherence]
+# Results land in results/ (one file per experiment). All flags are
+# forwarded to every harness, so a whole-suite chaos sweep is just
+# --faults=drop=0.01,seed=42 (see README "Fault injection & reliability").
 #
 # Harnesses are discovered from build/bench/bench_* (no hardcoded list), so
 # new experiments join the sweep by existing. --jobs defaults to the host

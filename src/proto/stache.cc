@@ -22,6 +22,10 @@ Stache::Stache(tempest::Cluster& cluster)
   FGDSM_ASSERT_MSG(cluster.nnodes() <= 64, "sharer bitmask is 64 bits");
   FGDSM_ASSERT_MSG(cluster.words_per_block() <= 64,
                    "dirty masks are 64 bits (block <= 512 bytes)");
+  for (NodeState& ns : nodes_) {
+    ns.miss_sem.set_name("read miss");
+    ns.drain_sem.set_name("transaction drain");
+  }
   auto bind = [this](void (Stache::*fn)(Node&, sim::Message&,
                                         HandlerClock&)) {
     return [this, fn](Node& n, sim::Message& m, HandlerClock& c) {

@@ -140,7 +140,7 @@ class Stache : public tempest::Protocol {
   // Returns human-readable descriptions, empty if all invariants hold.
   // The opened-block bookkeeping it relies on is maintained only when the
   // cluster runs with check_coherence set.
-  std::vector<std::string> find_violations() const;
+  std::vector<std::string> find_violations() const override;
   // tempest::Protocol hook: asserts find_violations() is empty.
   void check_invariants(Node& node) override;
 

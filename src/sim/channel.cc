@@ -1,0 +1,181 @@
+#include "src/sim/channel.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/util/assert.h"
+
+namespace fgdsm::sim {
+
+ReliableChannel::ReliableChannel(Engine& engine, Network& net, int nnodes,
+                                 ChannelConfig cfg)
+    : engine_(engine),
+      net_(net),
+      nnodes_(nnodes),
+      cfg_(cfg),
+      tx_(static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(nnodes)),
+      rx_(static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(nnodes)),
+      deliver_(static_cast<std::size_t>(nnodes)) {
+  FGDSM_ASSERT(nnodes >= 1);
+  FGDSM_ASSERT_MSG(cfg_.rto_ns > 0, "channel rto must be positive");
+  FGDSM_ASSERT(cfg_.max_retries >= 0);
+}
+
+void ReliableChannel::attach(int node, Network::DeliverFn deliver) {
+  FGDSM_ASSERT(node >= 0 && node < nnodes_);
+  deliver_[node] = std::move(deliver);
+  net_.attach(node, [this, node](Message&& m, Time arrival) {
+    on_receive(node, std::move(m), arrival);
+  });
+}
+
+Time ReliableChannel::send(Time earliest, Message msg) {
+  if (msg.dst == msg.src) return net_.send(earliest, std::move(msg));
+
+  TxLink& t = tx_[link(msg.src, msg.dst)];
+  RxLink& reverse = rx_[link(msg.dst, msg.src)];
+  msg.ch_seq = ++t.next_seq;
+  msg.ch_ack = reverse.cum;  // piggyback: "I've received through cum"
+  reverse.last_ack_sent = reverse.cum;
+  t.unacked.emplace(msg.ch_seq, msg);  // retained for retransmission
+  arm_retransmit(msg.src, msg.dst, msg.ch_seq, /*attempt=*/0);
+  return net_.send(earliest, std::move(msg));
+}
+
+void ReliableChannel::arm_retransmit(int src, int dst, std::uint32_t seq,
+                                     int attempt) {
+  const Time base = engine_.now();
+  const Time backoff = cfg_.rto_ns << attempt;  // exponential
+  engine_.schedule(base + backoff, [this, src, dst, seq, attempt] {
+    TxLink& t = tx_[link(src, dst)];
+    auto it = t.unacked.find(seq);
+    if (it == t.unacked.end()) return;  // acked meanwhile — timer is moot
+    if (!engine_.any_task_unfinished()) {
+      // The program completed; only the final ack is missing. Not a stall —
+      // stop retrying so the event queue can drain.
+      t.unacked.erase(it);
+      return;
+    }
+    if (attempt >= cfg_.max_retries)
+      fail_retries(src, dst, seq, it->second, attempt);
+    Message copy = it->second;
+    RxLink& reverse = rx_[link(dst, src)];
+    copy.ch_ack = reverse.cum;  // refresh the piggyback
+    reverse.last_ack_sent = reverse.cum;
+    if (util::NodeStats* st = stats_for(src)) ++st->retransmits;
+    net_.send(engine_.now(), std::move(copy));
+    arm_retransmit(src, dst, seq, attempt + 1);
+  });
+}
+
+void ReliableChannel::fail_retries(int src, int dst, std::uint32_t seq,
+                                   const Message& m, int attempts) {
+  std::ostringstream os;
+  os << "reliable channel: retry budget exhausted on link " << src << "->"
+     << dst << " (" << type_name(m.type) << " seq " << seq << " after "
+     << attempts << " retransmissions, budget " << cfg_.max_retries
+     << "); link is effectively dead";
+  engine_.fail_stall(os.str());
+}
+
+void ReliableChannel::process_ack(int tx_src, int tx_dst, std::uint32_t ack) {
+  TxLink& t = tx_[link(tx_src, tx_dst)];
+  if (ack <= t.acked) return;
+  t.acked = ack;
+  t.unacked.erase(t.unacked.begin(), t.unacked.upper_bound(ack));
+}
+
+void ReliableChannel::on_receive(int node, Message&& m, Time arrival) {
+  // A cumulative ack rides on every wire message: it acknowledges the
+  // traffic `node` sent to m.src.
+  if (m.src != node && m.ch_ack > 0) process_ack(node, m.src, m.ch_ack);
+
+  if (m.type == cfg_.ack_type && m.ch_seq == 0 && m.src != node) {
+    return;  // pure ack: transport-level only, never surfaces to the app
+  }
+  if (m.ch_seq == 0) {
+    // Unsequenced (loopback) traffic bypasses ordering entirely.
+    deliver_[node](std::move(m), arrival);
+    return;
+  }
+
+  RxLink& rx = rx_[link(m.src, node)];
+  const int src = m.src;
+  if (m.ch_seq <= rx.cum) {
+    // Already delivered: a retransmitted or fault-duplicated copy. The
+    // sender evidently missed our ack, so force another out (rewinding
+    // last_ack_sent makes the ack timer consider cum unannounced).
+    if (util::NodeStats* st = stats_for(node)) ++st->dup_suppressed;
+    if (rx.last_ack_sent >= rx.cum && rx.cum > 0)
+      rx.last_ack_sent = rx.cum - 1;
+    schedule_pure_ack(node, src);
+    return;
+  }
+  if (m.ch_seq == rx.cum + 1) {
+    rx.cum = m.ch_seq;
+    deliver_[node](std::move(m), arrival);
+    // Drain any buffered successors that are now in order. Their own wire
+    // arrival was earlier; they become *processable* only now.
+    for (auto it = rx.ooo.begin();
+         it != rx.ooo.end() && it->first == rx.cum + 1;
+         it = rx.ooo.erase(it)) {
+      rx.cum = it->first;
+      deliver_[node](std::move(it->second), arrival);
+    }
+  } else {
+    // Gap: hold until the predecessors arrive (or are retransmitted).
+    auto [it, inserted] = rx.ooo.emplace(m.ch_seq, std::move(m));
+    (void)it;
+    if (!inserted)
+      if (util::NodeStats* st = stats_for(node)) ++st->dup_suppressed;
+  }
+  schedule_pure_ack(node, src);
+}
+
+void ReliableChannel::schedule_pure_ack(int from, int to) {
+  RxLink& rx = rx_[link(to, from)];
+  if (rx.ack_timer_armed) return;
+  rx.ack_timer_armed = true;
+  engine_.schedule(engine_.now() + cfg_.ack_delay_ns, [this, from, to] {
+    RxLink& rx = rx_[link(to, from)];
+    rx.ack_timer_armed = false;
+    if (rx.last_ack_sent >= rx.cum && rx.ooo.empty())
+      return;  // reverse traffic piggybacked it already and nothing is stuck
+    Message ack;
+    ack.src = from;
+    ack.dst = to;
+    ack.type = cfg_.ack_type;
+    ack.ch_seq = 0;  // acks are unsequenced: cumulative => idempotent
+    ack.ch_ack = rx.cum;
+    rx.last_ack_sent = rx.cum;
+    if (util::NodeStats* st = stats_for(from)) ++st->channel_acks;
+    net_.send(engine_.now(), std::move(ack));
+  });
+}
+
+std::string ReliableChannel::describe_state() const {
+  std::ostringstream os;
+  for (int s = 0; s < nnodes_; ++s) {
+    for (int d = 0; d < nnodes_; ++d) {
+      const TxLink& t = tx_[link(s, d)];
+      const RxLink& r = rx_[link(s, d)];
+      if (t.unacked.empty() && r.ooo.empty()) continue;
+      os << "  link " << s << "->" << d << ":";
+      if (!t.unacked.empty()) {
+        const auto& oldest = *t.unacked.begin();
+        os << " " << t.unacked.size() << " unacked (oldest seq "
+           << oldest.first << " " << type_name(oldest.second.type)
+           << ", acked through " << t.acked << ")";
+      }
+      if (!r.ooo.empty())
+        os << " " << r.ooo.size() << " buffered out-of-order at receiver"
+           << " (delivered through " << r.cum << ")";
+      os << "\n";
+    }
+  }
+  std::string out = os.str();
+  if (out.empty()) return out;
+  return "channel state:\n" + out;
+}
+
+}  // namespace fgdsm::sim

@@ -1,0 +1,117 @@
+// Reliable transport channel: turns the (possibly faulty) Network into an
+// in-order, exactly-once message pipe per directed link.
+//
+// Mechanics, modeled on classic sliding-window transports:
+//   - every wire-crossing message carries a per-link sequence number (ch_seq,
+//     1-based; 0 marks unsequenced traffic: loopback and pure acks);
+//   - every outgoing message piggybacks the sender's cumulative receive count
+//     for the reverse link (ch_ack), so under steady protocol traffic acks
+//     cost nothing; a delayed pure-ack message (cfg.ack_type) covers one-way
+//     bursts;
+//   - the sender keeps each unacked message and arms a retransmission timer
+//     (base RTO, exponential backoff, bounded retry budget); exhaustion is a
+//     provable liveness failure and escalates to Engine::fail_stall with the
+//     offending link and message type;
+//   - the receiver delivers in sequence order, buffers out-of-order arrivals,
+//     and suppresses duplicates (retransmitted or fault-duplicated copies).
+//
+// The channel exists only in chaos mode (tempest::Cluster creates it iff
+// --faults is given); a fault-free configuration keeps the original direct
+// Network::send path, so reliability costs nothing when unused. Determinism:
+// all per-link state lives in plain arrays/maps keyed by (src,dst) and all
+// timers go through the engine's (time, seq) order, so runs are bit-identical
+// for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/network.h"
+#include "src/sim/time.h"
+#include "src/util/stats.h"
+
+namespace fgdsm::sim {
+
+struct ChannelConfig {
+  Time rto_ns = 200'000;       // base retransmission timeout
+  Time ack_delay_ns = 50'000;  // pure-ack deferral (hoping to piggyback)
+  int max_retries = 10;        // attempts beyond the first send; 0 = none
+  std::uint16_t ack_type = 0;  // message type reserved for pure acks
+};
+
+class ReliableChannel {
+ public:
+  ReliableChannel(Engine& engine, Network& net, int nnodes, ChannelConfig cfg);
+
+  // Install the app-facing delivery sink for `node`. The channel installs
+  // itself as the node's Network sink and forwards in-order traffic here.
+  void attach(int node, Network::DeliverFn deliver);
+
+  // Per-node counter sinks (retransmits/channel_acks land on the sending
+  // node, dup_suppressed on the receiving node). Optional.
+  void set_stats(std::vector<util::NodeStats*> stats) {
+    stats_ = std::move(stats);
+  }
+
+  // Pretty-printer for diagnostics: message type id -> name.
+  void set_type_namer(std::function<const char*(std::uint16_t)> fn) {
+    type_name_ = std::move(fn);
+  }
+
+  // Sequence msg, stamp the piggyback ack, retain a retransmission copy and
+  // arm its timer, then hand it to the network. Returns injection end (same
+  // contract as Network::send). Loopback messages bypass the channel.
+  Time send(Time earliest, Message msg);
+
+  // One line per link with unacked traffic — appended to stall reports.
+  std::string describe_state() const;
+
+ private:
+  struct TxLink {
+    std::uint32_t next_seq = 0;            // last sequence number assigned
+    std::uint32_t acked = 0;               // highest cumulatively acked seq
+    std::map<std::uint32_t, Message> unacked;  // seq -> retained copy
+  };
+  struct RxLink {
+    std::uint32_t cum = 0;                 // delivered in order through cum
+    std::uint32_t last_ack_sent = 0;       // newest cum the peer has seen
+    bool ack_timer_armed = false;
+    std::map<std::uint32_t, Message> ooo;  // buffered out-of-order arrivals
+  };
+
+  std::size_t link(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(nnodes_) +
+           static_cast<std::size_t>(dst);
+  }
+  util::NodeStats* stats_for(int node) {
+    return static_cast<std::size_t>(node) < stats_.size() ? stats_[node]
+                                                          : nullptr;
+  }
+  const char* type_name(std::uint16_t t) const {
+    return type_name_ ? type_name_(t) : "?";
+  }
+
+  void on_receive(int node, Message&& m, Time arrival);
+  void process_ack(int src, int dst, std::uint32_t ack);
+  void deliver_in_order(int node, RxLink& rx, Message&& m, Time arrival);
+  void arm_retransmit(int src, int dst, std::uint32_t seq, int attempt);
+  void schedule_pure_ack(int src, int dst);
+  [[noreturn]] void fail_retries(int src, int dst, std::uint32_t seq,
+                                 const Message& m, int attempts);
+
+  Engine& engine_;
+  Network& net_;
+  int nnodes_;
+  ChannelConfig cfg_;
+  std::vector<TxLink> tx_;                    // nnodes^2, sender side
+  std::vector<RxLink> rx_;                    // nnodes^2, receiver side
+  std::vector<Network::DeliverFn> deliver_;   // app sinks, per node
+  std::vector<util::NodeStats*> stats_;
+  std::function<const char*(std::uint16_t)> type_name_;
+};
+
+}  // namespace fgdsm::sim

@@ -1,12 +1,19 @@
 #include "src/sim/engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "src/sim/task.h"
 #include "src/util/assert.h"
 
 namespace fgdsm::sim {
+
+void exit_stall(const StallError& e) {
+  std::fprintf(stderr, "fgdsm: simulation stalled\n%s\n", e.what());
+  std::exit(kStallExitCode);
+}
 
 Engine::~Engine() {
   FGDSM_ASSERT_MSG(tasks_.empty(),
@@ -51,13 +58,28 @@ bool Engine::front_precedes(const Queue& a, const Queue& b) {
 void Engine::run() {
   FGDSM_ASSERT_MSG(!running_, "Engine::run is not reentrant");
   running_ = true;
+  last_progress_ = now_;
   while (!events_.empty() || !resumes_.empty()) {
-    Queue& q = front_precedes(events_, resumes_) ? events_ : resumes_;
+    const bool is_resume = !front_precedes(events_, resumes_);
+    Queue& q = is_resume ? resumes_ : events_;
     // priority_queue::top() is const; the event is moved out via const_cast,
     // which is safe because we pop immediately after.
     Event ev = std::move(const_cast<Event&>(q.top()));
     q.pop();
     now_ = ev.t;
+    if (is_resume) {
+      last_progress_ = now_;
+    } else if (watchdog_ns_ > 0 && now_ - last_progress_ > watchdog_ns_ &&
+               any_task_unfinished()) {
+      // Handler/timer events keep firing (e.g. retransmissions cycling on a
+      // dead link) but no compute task has run for a full stall window:
+      // the simulation is spinning, not progressing.
+      std::ostringstream os;
+      os << "watchdog: no compute-task progress for " << (now_ - last_progress_)
+         << " virtual ns (threshold " << watchdog_ns_ << ")";
+      running_ = false;
+      fail_stall(os.str());
+    }
     ++events_processed_;
     try {
       ev.fn();
@@ -70,17 +92,43 @@ void Engine::run() {
   check_deadlock();
 }
 
-void Engine::check_deadlock() const {
+bool Engine::any_task_unfinished() const {
+  for (const Task* t : tasks_)
+    if (!t->finished()) return true;
+  return false;
+}
+
+std::string Engine::describe_blocked_tasks() const {
   std::ostringstream os;
-  bool dead = false;
   for (const Task* t : tasks_) {
-    if (!t->finished()) {
-      if (!dead) os << "simulation deadlock; blocked tasks:";
-      dead = true;
-      os << " " << t->name();
-    }
+    if (t->finished()) continue;
+    os << "  " << t->name();
+    if (t->node_id() >= 0) os << " [node " << t->node_id() << "]";
+    if (t->wait_reason() != nullptr)
+      os << " waiting on " << t->wait_reason();
+    else if (t->blocked())
+      os << " blocked";
+    else
+      os << " runnable";
+    os << " at t=" << t->now() << "\n";
   }
-  if (dead) throw AssertionError(os.str());
+  return os.str();
+}
+
+void Engine::fail_stall(const std::string& reason) const {
+  std::ostringstream os;
+  os << reason << "\nblocked tasks:\n" << describe_blocked_tasks();
+  if (stall_reporter_) os << stall_reporter_();
+  throw StallError(os.str());
+}
+
+void Engine::check_deadlock() const {
+  bool dead = false;
+  for (const Task* t : tasks_)
+    if (!t->finished()) dead = true;
+  if (dead)
+    throw AssertionError("simulation deadlock; blocked tasks:\n" +
+                         describe_blocked_tasks());
 }
 
 void Engine::register_task(Task* t) { tasks_.push_back(t); }

@@ -39,10 +39,30 @@
 #include <vector>
 
 #include "src/sim/time.h"
+#include "src/util/assert.h"
 
 namespace fgdsm::sim {
 
 class Task;
+
+// Thrown when forward progress provably stopped: the watchdog saw no compute
+// task advance for a full stall window of virtual time, or the reliable
+// channel exhausted a message's retry budget. Carries the structured
+// diagnostic (blocked tasks with node/wait reason, unacked channel state,
+// the offending link and message type) so a harness can print it and exit
+// with kStallExitCode instead of hanging.
+class StallError : public AssertionError {
+ public:
+  explicit StallError(const std::string& what) : AssertionError(what) {}
+};
+
+// Distinct process exit code for watchdog/stall terminations, so scripts and
+// CI can tell "the protocol hung" from an ordinary failure.
+inline constexpr int kStallExitCode = 86;
+
+// Print the stall diagnostic and terminate with the documented exit code.
+// The standard catch-site epilogue for harness main()s.
+[[noreturn]] void exit_stall(const StallError& e);
 
 class Engine {
  public:
@@ -78,8 +98,35 @@ class Engine {
   Time lookahead() const { return lookahead_; }
 
   // Run the event loop until both queues are empty. Throws if registered
-  // tasks are still blocked when the queues drain (deadlock).
+  // tasks are still blocked when the queues drain (deadlock), or StallError
+  // if the watchdog detects a virtual-time stall (see set_watchdog).
   void run();
+
+  // ---- Progress watchdog (--watchdog-ns) ----
+  // With stall_ns > 0, the run loop fails with StallError whenever event
+  // time moves stall_ns past the last compute-task resume while unfinished
+  // tasks remain — i.e. handlers/timers keep firing (retransmissions) but no
+  // task makes progress. 0 disables the watchdog (the default).
+  void set_watchdog(Time stall_ns) { watchdog_ns_ = stall_ns; }
+
+  // Extra diagnostic context appended to every stall report (the cluster
+  // wires in channel + protocol state).
+  void set_stall_reporter(std::function<std::string()> fn) {
+    stall_reporter_ = std::move(fn);
+  }
+
+  // Compose `reason` + blocked-task dump + reporter context and throw
+  // StallError. Also the failure entry point for the reliable channel's
+  // retry-budget exhaustion.
+  [[noreturn]] void fail_stall(const std::string& reason) const;
+
+  // One line per live task: name, node id, and what it is waiting on.
+  std::string describe_blocked_tasks() const;
+
+  // True while any registered task has not run to completion. The reliable
+  // channel uses this to distinguish a real stall (work remains) from
+  // transport cleanup after the program finished (a lost final ack is moot).
+  bool any_task_unfinished() const;
 
   // Task registration (used by sim::Task's constructor/destructor).
   void register_task(Task* t);
@@ -108,6 +155,9 @@ class Engine {
   Queue events_;   // ordinary (handler) events
   Queue resumes_;  // task-resume events
   Time lookahead_ = 1000;  // conservative default; cluster overrides
+  Time watchdog_ns_ = 0;   // 0 = watchdog off
+  Time last_progress_ = 0;  // event time of the latest task resume
+  std::function<std::string()> stall_reporter_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

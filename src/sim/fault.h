@@ -1,0 +1,88 @@
+// Deterministic network fault injection (chaos mode, --faults=...).
+//
+// The injector sits between Network::send and delivery scheduling: for every
+// wire-crossing message it decides — drop, duplicate, delay, or pass — from
+// a counter-based hash of (seed, link, per-link message index). No global
+// RNG state exists, so a given seed produces the identical fault sequence
+// regardless of host thread count (exec::BatchRunner) or wall-clock timing,
+// and two runs with the same seed are bit-identical. Loopback (self-send)
+// messages never cross the wire and are never faulted.
+//
+// Fault injection is only meaningful under the reliable transport
+// (sim::ReliableChannel): a dropped message with no retransmission layer is
+// a guaranteed hang. tempest::Cluster enforces the pairing — enabling
+// faults enables the channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/stats.h"
+
+namespace fgdsm::sim {
+
+// Parsed form of --faults=drop=0.01,dup=0.001,delay=0.05,delay-ns=80000,
+// reorder=0.02,seed=42,retries=10,rto-ns=200000. All rates are independent
+// per-message probabilities in [0,1]; delay-ns bounds the extra latency a
+// delayed/duplicated message picks up (0 = a default derived from the cost
+// model's wire latency); retries/rto-ns configure the reliable channel
+// layered on top.
+struct FaultConfig {
+  bool enabled = false;    // set by parse(); gates the whole subsystem
+  double drop = 0.0;       // P(message never delivered)
+  double dup = 0.0;        // P(message delivered twice)
+  double delay = 0.0;      // P(message held back by up to delay_ns)
+  double reorder = 0.0;    // P(message held back past its successors)
+  Time delay_ns = 0;       // max injected extra latency (0 = model default)
+  std::uint64_t seed = 1;  // chaos seed; same seed => same fault sequence
+  int max_retries = 10;    // channel retry budget per message (0 = none)
+  Time rto_ns = 0;         // channel base retransmission timeout (0 = default)
+
+  // Parse a comma-separated key=value spec. On error, returns a disabled
+  // config and stores a human-readable message in *error (empty on success).
+  // A bare/empty spec ("--faults") enables chaos plumbing with zero rates.
+  static FaultConfig parse(const std::string& spec, std::string* error);
+
+  std::string summary() const;  // "drop=0.01 dup=0 ... seed=42" (diagnostics)
+};
+
+class FaultInjector {
+ public:
+  // `default_window`: extra-latency bound used when cfg.delay_ns == 0
+  // (tempest::Cluster passes a multiple of the wire latency).
+  FaultInjector(const FaultConfig& cfg, int nnodes, Time default_window);
+
+  // Per-node counter sinks (faults_dropped/duplicated/delayed land on the
+  // message's source node). Optional; unset entries are simply not counted.
+  void set_stats(std::vector<util::NodeStats*> stats) {
+    stats_ = std::move(stats);
+  }
+
+  // The verdict for one wire crossing of a src->dst message. Each call
+  // consumes one per-link index, so retransmissions re-roll the dice —
+  // a retransmitted copy can itself be dropped.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    Time extra_delay = 0;  // added to the primary copy's arrival
+    Time dup_delay = 0;    // added on top for the duplicate copy
+  };
+  Decision decide(int src, int dst);
+
+  const FaultConfig& config() const { return cfg_; }
+  Time window() const { return window_; }
+
+ private:
+  std::uint64_t hash(int src, int dst, std::uint64_t n, std::uint64_t salt)
+      const;
+
+  FaultConfig cfg_;
+  int nnodes_;
+  Time window_;
+  std::vector<std::uint64_t> link_count_;  // per (src,dst) messages seen
+  std::vector<util::NodeStats*> stats_;
+};
+
+}  // namespace fgdsm::sim

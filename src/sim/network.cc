@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/sim/fault.h"
 #include "src/util/assert.h"
 
 namespace fgdsm::sim {
@@ -34,15 +35,34 @@ Time Network::send(Time earliest, Message msg) {
       costs_.bytes_time(static_cast<std::int64_t>(msg.payload.size()) +
                         costs_.msg_header_bytes));
 
-  const Time arrival = msg.dst == msg.src
-                           ? inject_end  // loopback: no wire traversal
-                           : inject_end + costs_.wire_latency;
+  Time arrival = msg.dst == msg.src
+                     ? inject_end  // loopback: no wire traversal
+                     : inject_end + costs_.wire_latency;
+
+  FaultInjector::Decision verdict;
+  if (fault_ != nullptr && msg.dst != msg.src) {
+    verdict = fault_->decide(msg.src, msg.dst);
+    if (verdict.drop) {
+      // The wire ate it: the sender still paid injection, nothing arrives.
+      return inject_end;
+    }
+    arrival += verdict.extra_delay;
+  }
 
   // The payload moves with the event; shared_ptr lets the std::function stay
   // copyable as std::function requires.
   auto boxed = std::make_shared<Message>(std::move(msg));
   DeliverFn& sink = deliver_[boxed->dst];
   FGDSM_ASSERT_MSG(sink, "no delivery sink attached for node " << boxed->dst);
+  if (verdict.duplicate) {
+    // A second, independent copy arrives later; the channel's duplicate
+    // suppression discards whichever copy loses the race.
+    const Time dup_arrival = arrival + verdict.dup_delay;
+    auto dup = std::make_shared<Message>(*boxed);
+    engine_.schedule(dup_arrival, [&sink, dup, dup_arrival] {
+      sink(std::move(*dup), dup_arrival);
+    });
+  }
   engine_.schedule(arrival, [&sink, boxed, arrival] {
     sink(std::move(*boxed), arrival);
   });

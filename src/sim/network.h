@@ -25,11 +25,19 @@ struct Message {
   std::array<std::int64_t, 4> arg{};      // small scalar arguments
   std::vector<std::byte> payload;         // optional data
   std::uint64_t trace_id = 0;             // tracer flow id (0 = untraced)
+  // Reliable-transport framing (sim::ReliableChannel; chaos mode only).
+  // ch_seq is the per-link sequence number (0 = unsequenced: loopback and
+  // pure acks); ch_ack piggybacks the sender's cumulative receive count for
+  // the reverse direction of the link.
+  std::uint32_t ch_seq = 0;
+  std::uint32_t ch_ack = 0;
 
   std::int64_t size_bytes(int header) const {
     return header + static_cast<std::int64_t>(payload.size());
   }
 };
+
+class FaultInjector;
 
 class Network {
  public:
@@ -39,6 +47,11 @@ class Network {
 
   // Install the delivery sink for a node (the node's handler dispatcher).
   void attach(int node, DeliverFn deliver);
+
+  // Chaos mode: route every wire crossing through `f` (drop/dup/delay
+  // verdicts). Null (the default) is a perfect wire; the only cost of the
+  // disabled path is this pointer test.
+  void set_fault_injector(FaultInjector* f) { fault_ = f; }
 
   // Transmit msg; the sender's NI is occupied starting no earlier than
   // `earliest` (typically the sending cpu's clock after it has charged
@@ -60,6 +73,7 @@ class Network {
   const CostModel& costs_;
   std::vector<Resource> tx_;  // one transmit resource per node
   std::vector<DeliverFn> deliver_;
+  FaultInjector* fault_ = nullptr;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
 };

@@ -16,6 +16,12 @@ namespace fgdsm::sim {
 
 class Semaphore {
  public:
+  // Diagnostic label recorded as the waiting task's wait reason while it is
+  // parked here; deadlock/stall dumps print it ("node3 waiting on
+  // ready_to_recv"). Must point at a string that outlives the semaphore.
+  void set_name(const char* name) { name_ = name; }
+  const char* name() const { return name_; }
+
   // Post n units at virtual time t (typically the posting handler's
   // completion time). Engine/handler context only.
   void post(Time t, std::int64_t n = 1) {
@@ -39,8 +45,10 @@ class Semaphore {
                                                           << ")");
       waiter_ = &task;
       need_ = n;
+      task.set_wait_reason(name_);
       task.block();
     }
+    task.set_wait_reason(nullptr);
     count_ -= n;
   }
 
@@ -53,6 +61,7 @@ class Semaphore {
   }
 
  private:
+  const char* name_ = "semaphore";
   std::int64_t count_ = 0;
   Task* waiter_ = nullptr;
   std::int64_t need_ = 0;

@@ -70,6 +70,14 @@ class Task {
   Resource* cpu() const { return cpu_; }
   void set_steal_counter(std::int64_t* c) { steal_counter_ = c; }
 
+  // Diagnostic context for deadlock/stall dumps: the cluster node this task
+  // computes for (-1 = not a node task) and what the task is currently
+  // waiting on (a static string set by Semaphore::wait; null = not waiting).
+  void set_node_id(int id) { node_id_ = id; }
+  int node_id() const { return node_id_; }
+  void set_wait_reason(const char* r) { wait_reason_ = r; }
+  const char* wait_reason() const { return wait_reason_; }
+
   bool finished() const { return state_ == State::kFinished; }
   bool blocked() const { return state_ == State::kBlocked; }
   const std::string& name() const { return name_; }
@@ -103,6 +111,8 @@ class Task {
   Time clock_ = 0;
   Resource* cpu_ = nullptr;
   std::int64_t* steal_counter_ = nullptr;
+  int node_id_ = -1;
+  const char* wait_reason_ = nullptr;
 
   State state_ = State::kNotStarted;
   bool cancel_ = false;

@@ -19,17 +19,57 @@ std::size_t round_up(std::size_t v, std::size_t align) {
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg), net_(engine_, cfg_.costs, cfg.nnodes) {
   cfg_.validate();
+  if (cfg_.faults.enabled) {
+    // Chaos mode: deterministic faults on the wire, reliable channel under
+    // every node. Defaults derive from the cost model so the knobs scale
+    // with the platform: delay window 8x wire latency, base RTO 20x (well
+    // past a round trip plus handler occupancy), pure acks at RTO/4.
+    fault_ = std::make_unique<sim::FaultInjector>(
+        cfg_.faults, cfg_.nnodes, 8 * cfg_.costs.wire_latency);
+    net_.set_fault_injector(fault_.get());
+    sim::ChannelConfig ch;
+    ch.rto_ns = cfg_.faults.rto_ns > 0 ? cfg_.faults.rto_ns
+                                       : 20 * cfg_.costs.wire_latency;
+    ch.ack_delay_ns = std::max<sim::Time>(1, ch.rto_ns / 4);
+    ch.max_retries = cfg_.faults.max_retries;
+    ch.ack_type = static_cast<std::uint16_t>(MsgType::kChannelAck);
+    channel_ = std::make_unique<sim::ReliableChannel>(engine_, net_,
+                                                      cfg_.nnodes, ch);
+    channel_->set_type_namer([](std::uint16_t t) {
+      return to_string(static_cast<MsgType>(t));
+    });
+  }
+  std::vector<util::NodeStats*> stat_sinks;
   for (int i = 0; i < cfg_.nnodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(*this, i));
     Node* n = nodes_.back().get();
-    net_.attach(i, [n](sim::Message&& m, sim::Time arrival) {
+    stat_sinks.push_back(&n->stats);
+    auto sink = [n](sim::Message&& m, sim::Time arrival) {
       n->deliver(std::move(m), arrival);
-    });
+    };
+    if (channel_ != nullptr)
+      channel_->attach(i, std::move(sink));
+    else
+      net_.attach(i, std::move(sink));
   }
+  if (fault_ != nullptr) fault_->set_stats(stat_sinks);
+  if (channel_ != nullptr) channel_->set_stats(std::move(stat_sinks));
   // Lookahead: a lower bound on how quickly one node's compute task can
   // affect another node — composing a message plus the wire latency.
   engine_.set_lookahead(cfg_.costs.msg_send_overhead +
                         cfg_.costs.wire_latency);
+  engine_.set_watchdog(cfg_.watchdog_ns);
+  engine_.set_stall_reporter([this] {
+    std::string out;
+    if (channel_ != nullptr) out += channel_->describe_state();
+    for (const auto& n : nodes_) {
+      if (n->protocol == nullptr) continue;
+      for (const std::string& v : n->protocol->find_violations())
+        out += "  node " + std::to_string(n->id()) + ": " + v + "\n";
+      break;  // protocols share global state; one node's view suffices
+    }
+    return out;
+  });
   register_builtin_handlers();
 }
 
@@ -293,6 +333,7 @@ util::RunStats Cluster::run(
         [n, &program](sim::Task& t) { program(*n, t); }));
     sim::Task* t = tasks.back().get();
     t->set_cpu(&n->cpu_res());
+    t->set_node_id(i);
     t->set_steal_counter(&n->stats.handler_steal_ns);
     n->bind_task(t);
     t->start(0);

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/channel.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/network.h"
 #include "src/tempest/config.h"
 #include "src/tempest/node.h"
@@ -60,6 +62,17 @@ class Cluster {
 
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return net_; }
+
+  // The one egress point for node traffic: routes through the reliable
+  // channel in chaos mode, or straight to the network otherwise (same
+  // contract as Network::send). Nodes must use this instead of
+  // network().send so that sequencing/retransmission can interpose.
+  sim::Time transmit(sim::Time earliest, sim::Message m) {
+    return channel_ != nullptr ? channel_->send(earliest, std::move(m))
+                               : net_.send(earliest, std::move(m));
+  }
+  sim::ReliableChannel* channel() { return channel_.get(); }
+  sim::FaultInjector* fault_injector() { return fault_.get(); }
   sim::Tracer* tracer() const { return cfg_.tracer; }
   const ClusterConfig& config() const { return cfg_; }
   const sim::CostModel& costs() const { return cfg_.costs; }
@@ -111,6 +124,10 @@ class Cluster {
   ClusterConfig cfg_;
   sim::Engine engine_;
   sim::Network net_;
+  // Chaos mode only (both null when cfg_.faults is disabled, keeping the
+  // fault-free path untouched).
+  std::unique_ptr<sim::FaultInjector> fault_;
+  std::unique_ptr<sim::ReliableChannel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::array<Handler, static_cast<std::size_t>(MsgType::kCount)> handlers_;
   std::size_t segment_bytes_ = 0;

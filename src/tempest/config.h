@@ -5,6 +5,8 @@
 #include <cstddef>
 
 #include "src/sim/cost_model.h"
+#include "src/sim/fault.h"
+#include "src/sim/time.h"
 #include "src/util/assert.h"
 
 namespace fgdsm::sim {
@@ -29,6 +31,14 @@ struct ClusterConfig {
   // Optional event tracer (not owned; null = tracing off). The tracer is
   // passive — it records spans/flows but never charges virtual time.
   sim::Tracer* tracer = nullptr;
+  // Chaos mode (--faults=...): with faults.enabled the cluster interposes a
+  // deterministic FaultInjector on the wire and layers the reliable channel
+  // under every node. Disabled (the default) leaves the original direct
+  // network path — zero overhead, bit-identical behavior.
+  sim::FaultConfig faults;
+  // Progress watchdog (--watchdog-ns=N): fail with sim::StallError if no
+  // compute task advances for N virtual ns while work remains. 0 = off.
+  sim::Time watchdog_ns = 0;
   sim::CostModel costs;
 
   void validate() const {

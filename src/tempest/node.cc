@@ -12,7 +12,12 @@
 
 namespace fgdsm::tempest {
 
-Node::Node(Cluster& cluster, int id) : cluster_(cluster), id_(id) {}
+Node::Node(Cluster& cluster, int id) : cluster_(cluster), id_(id) {
+  barrier_sem.set_name("barrier");
+  reduce_sem.set_name("allreduce");
+  recv_sem.set_name("ready_to_recv");
+  drain_sem.set_name("drain");
+}
 
 void Node::finalize_memory(std::size_t segment_bytes, std::size_t nblocks,
                            bool dual_cpu) {
@@ -211,7 +216,7 @@ void Node::send(sim::Task& task, sim::Message m) {
         sim::Tracer::compute_track(id_), "msg", std::string("tx ") + what,
         task.now() - cluster_.costs().msg_send_overhead, task.now());
   }
-  cluster_.network().send(task.now(), std::move(m));
+  cluster_.transmit(task.now(), std::move(m));
 }
 
 void Node::send_from_handler(HandlerClock& clk, sim::Message m) {
@@ -226,7 +231,7 @@ void Node::send_from_handler(HandlerClock& clk, sim::Message m) {
         sim::Tracer::protocol_track(id_), "msg", std::string("tx ") + what,
         clk.t - cluster_.costs().msg_send_overhead, clk.t);
   }
-  cluster_.network().send(clk.t, std::move(m));
+  cluster_.transmit(clk.t, std::move(m));
 }
 
 void Node::deliver(sim::Message&& m, sim::Time arrival) {

@@ -7,6 +7,9 @@
 // primitives. This interface is that dispatch surface.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "src/sim/task.h"
 #include "src/tempest/types.h"
 
@@ -48,6 +51,12 @@ class Protocol {
   // actual per-node tags, transaction and dirty-mask drain — and abort on
   // violation. Must not charge virtual time.
   virtual void check_invariants(Node& node) { (void)node; }
+
+  // Non-fatal variant for stall diagnostics: describe any in-flight
+  // transactions / violated invariants instead of aborting. Called from the
+  // watchdog's stall reporter, where the cluster is *not* quiescent, so
+  // "violations" here usually mean "stuck mid-transaction".
+  virtual std::vector<std::string> find_violations() const { return {}; }
 };
 
 }  // namespace fgdsm::tempest

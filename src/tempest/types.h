@@ -61,6 +61,10 @@ enum class MsgType : std::uint16_t {
   kReduceUp,
   kReduceDown,
 
+  // Reliable-transport pure ack (chaos mode): consumed by the channel layer,
+  // never dispatched to a protocol handler.
+  kChannelAck,
+
   kCount
 };
 
@@ -83,6 +87,7 @@ inline const char* to_string(MsgType t) {
     case MsgType::kBarrierRelease: return "barrier_release";
     case MsgType::kReduceUp: return "reduce_up";
     case MsgType::kReduceDown: return "reduce_down";
+    case MsgType::kChannelAck: return "channel_ack";
     case MsgType::kCount: break;
   }
   return "?";

@@ -1,5 +1,6 @@
 #include "src/util/options.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -37,6 +38,59 @@ Options::Options(int argc, const char* const* argv) {
 
 bool Options::has(const std::string& name) const {
   return values_.count(name) > 0;
+}
+
+namespace {
+
+// Classic Levenshtein distance; flag names are short, so the O(nm) table is
+// immaterial.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string Options::closest_match(const std::string& name,
+                                   const std::vector<std::string>& known) {
+  std::string best;
+  std::size_t best_d = name.size();  // a full rewrite is not a typo
+  for (const std::string& k : known) {
+    const std::size_t d = edit_distance(name, k);
+    if (d < best_d || (d == best_d && !best.empty() && k < best)) {
+      best = k;
+      best_d = d;
+    }
+  }
+  // Suggest only plausible typos: at most 3 edits and fewer than half the
+  // flag rewritten.
+  if (best_d > 3 || 2 * best_d >= std::max<std::size_t>(name.size(), 1))
+    return "";
+  return best;
+}
+
+void Options::check_known(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    const std::string suggestion = closest_match(name, known);
+    if (suggestion.empty())
+      std::fprintf(stderr, "fgdsm: unknown option --%s\n", name.c_str());
+    else
+      std::fprintf(stderr,
+                   "fgdsm: unknown option --%s (did you mean --%s?)\n",
+                   name.c_str(), suggestion.c_str());
+    std::exit(2);
+  }
 }
 
 std::string Options::get(const std::string& name,

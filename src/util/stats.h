@@ -37,6 +37,18 @@ struct NodeStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
 
+  // Chaos-mode networking (--faults): reliable-transport and fault-injector
+  // activity. All zero when fault injection is off (the channel is inactive
+  // and the wire is perfect). Sender-side counters (retransmits, injected
+  // faults) land on the message's source node; receiver-side counters
+  // (acks, suppressed duplicates) on its destination.
+  std::uint64_t retransmits = 0;        // copies re-sent after an RTO expiry
+  std::uint64_t channel_acks = 0;       // pure (non-piggybacked) acks sent
+  std::uint64_t dup_suppressed = 0;     // already-delivered copies discarded
+  std::uint64_t faults_dropped = 0;     // messages the injector dropped
+  std::uint64_t faults_duplicated = 0;  // messages the injector duplicated
+  std::uint64_t faults_delayed = 0;     // messages the injector delayed
+
   // Barriers/reductions participated in.
   std::uint64_t barriers = 0;
   std::uint64_t reductions = 0;
@@ -69,6 +81,12 @@ struct NodeStats {
     fn("plan_cache_misses", &NodeStats::plan_cache_misses);
     fn("messages_sent", &NodeStats::messages_sent);
     fn("bytes_sent", &NodeStats::bytes_sent);
+    fn("retransmits", &NodeStats::retransmits);
+    fn("channel_acks", &NodeStats::channel_acks);
+    fn("dup_suppressed", &NodeStats::dup_suppressed);
+    fn("faults_dropped", &NodeStats::faults_dropped);
+    fn("faults_duplicated", &NodeStats::faults_duplicated);
+    fn("faults_delayed", &NodeStats::faults_delayed);
     fn("barriers", &NodeStats::barriers);
     fn("reductions", &NodeStats::reductions);
     fn("compute_ns", &NodeStats::compute_ns);
