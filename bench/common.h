@@ -9,6 +9,8 @@
 //                   are byte-identical at any job count)
 //   --plan-cache=<0|1>  host-side comm-plan caching (default 1; simulated
 //                   results are identical either way — A/B timing knob)
+//   --plan-cache-misses=<n>  PlanCache give-up threshold: a loop missing n
+//                   consecutive lookups is abandoned (default 8)
 //   --full          shorthand for --scale=1.0
 //   --json=<file>   also write machine-readable results (schema
 //                   fgdsm-bench-v1; byte-identical at any --jobs count)
@@ -54,6 +56,9 @@ namespace fgdsm::bench {
 // turns it off for A/B wall-clock comparisons (simulated results are
 // identical either way).
 inline bool g_plan_cache = true;
+// --plan-cache-misses=<n>: PlanCache abandonment threshold for every spec
+// built by make_spec (core::Options::plan_cache_misses).
+inline int g_plan_cache_misses = 8;
 // --check-coherence: every spec built by make_spec runs the protocol's
 // invariant checker at each barrier (debug aid; no virtual-time cost).
 inline bool g_check_coherence = false;
@@ -89,8 +94,8 @@ struct BenchConfig {
     util::Options o(argc, argv);
     std::vector<std::string> known = {
         "scale", "nodes",     "block", "app",   "jobs",
-        "plan-cache", "full", "json",  "trace", "per-loop",
-        "check-coherence", "faults", "watchdog-ns"};
+        "plan-cache", "plan-cache-misses", "full", "json",  "trace",
+        "per-loop", "check-coherence", "faults", "watchdog-ns"};
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     o.check_known(known);
     BenchConfig c;
@@ -99,6 +104,11 @@ struct BenchConfig {
     c.block = static_cast<std::size_t>(o.get_int("block", 128));
     c.jobs = static_cast<int>(o.get_int("jobs", 1));
     g_plan_cache = o.get_int("plan-cache", 1) != 0;
+    g_plan_cache_misses = static_cast<int>(o.get_int("plan-cache-misses", 8));
+    if (g_plan_cache_misses < 1) {
+      std::fprintf(stderr, "fgdsm: --plan-cache-misses must be >= 1\n");
+      std::exit(2);
+    }
     if (o.has("app")) c.only_app = o.get("app");
     c.per_loop = o.get_bool("per-loop");
     if (o.has("json")) c.json_path = o.get("json");
@@ -143,6 +153,7 @@ inline exec::ExperimentSpec make_spec(const hpf::Program& prog,
   s.config.cluster.dual_cpu = dual_cpu;
   s.config.opt = opt;
   s.config.opt.plan_cache = g_plan_cache;
+  s.config.opt.plan_cache_misses = g_plan_cache_misses;
   s.config.gather_arrays = false;
   s.config.cluster.check_coherence = g_check_coherence;
   s.config.cluster.faults = g_faults;

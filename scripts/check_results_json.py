@@ -15,6 +15,7 @@ STATS_COUNTERS = (
     "read_misses", "write_misses", "invalidations_received",
     "ccc_blocks_sent", "ccc_messages_sent", "ccc_runtime_calls",
     "ccc_calls_elided", "plan_cache_hits", "plan_cache_misses",
+    "irreg_inspections", "sched_cache_hits", "sched_cache_misses",
     "messages_sent", "bytes_sent",
     "retransmits", "channel_acks", "dup_suppressed",
     "faults_dropped", "faults_duplicated", "faults_delayed",

@@ -30,7 +30,12 @@ case "$job" in
     mkdir -p results
     build/bench/bench_table3 --app=jacobi --scale=0.05 --jobs="$jobs" \
       --check-coherence --json=results/smoke_table3.json
-    python3 scripts/check_results_json.py results/smoke_table3.json
+    # Irregular path smoke: the inspector–executor schedule for the sparse
+    # matvec, same coherence + schema gates.
+    build/bench/bench_irreg --pattern=band --scale=0.05 --jobs="$jobs" \
+      --check-coherence --json=results/smoke_irreg.json
+    python3 scripts/check_results_json.py results/smoke_table3.json \
+      results/smoke_irreg.json
     ;;
   sanitize)
     cmake -B build-asan -S . \
@@ -47,7 +52,7 @@ case "$job" in
     ;;
   chaos)
     cmake -B build -S . "$@"
-    cmake --build build -j "$jobs" --target bench_table3
+    cmake --build build -j "$jobs" --target bench_table3 bench_irreg
     mkdir -p results
     # Fault-free baseline, then the same sweep under chaos at two seeds.
     build/bench/bench_table3 --scale=0.05 --jobs="$jobs" --check-coherence \
@@ -61,6 +66,20 @@ case "$job" in
       results/chaos_seed1.json results/chaos_seed2.json
     python3 scripts/check_chaos.py results/chaos_baseline.json \
       results/chaos_seed1.json results/chaos_seed2.json
+    # Irregular gauntlet: the inspector's needs exchange and the scheduled
+    # gathers must survive the same lossy wire — results bit-identical to
+    # the fault-free baseline at both seeds.
+    build/bench/bench_irreg --pattern=band --scale=0.05 --jobs="$jobs" \
+      --check-coherence --json=results/chaos_irreg_baseline.json
+    for seed in 1 2; do
+      build/bench/bench_irreg --pattern=band --scale=0.05 --jobs="$jobs" \
+        --check-coherence --faults="drop=0.02,seed=$seed" \
+        --json="results/chaos_irreg_seed$seed.json"
+    done
+    python3 scripts/check_results_json.py results/chaos_irreg_baseline.json \
+      results/chaos_irreg_seed1.json results/chaos_irreg_seed2.json
+    python3 scripts/check_chaos.py results/chaos_irreg_baseline.json \
+      results/chaos_irreg_seed1.json results/chaos_irreg_seed2.json
     # Liveness failure path: a fully dead network must terminate with the
     # documented stall exit code and name the dead link — never hang.
     rc=0

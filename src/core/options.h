@@ -38,8 +38,17 @@ struct Options {
   // while the symbols the loop's structure references keep their values
   // (core::PlanCache). Models the paper's compiler emitting the schedule
   // once instead of re-planning every visit. Off exists only for the
-  // equivalence tests and A/B timing.
+  // equivalence tests and A/B timing. Exception: for loops with indirect
+  // reads the same cache holds the inspector's gather schedule, whose
+  // misses cost *simulated* time (the needs exchange is real
+  // communication) — turning the cache off makes such runs slower in
+  // virtual time too, though numerically identical.
   bool plan_cache = true;
+
+  // PlanCache give-up threshold: a loop missing this many consecutive
+  // lookups is abandoned (entry freed, key evaluation skipped). Benches
+  // expose it as --plan-cache-misses=N. Must be >= 1.
+  int plan_cache_misses = 8;
 
   std::string label() const;
 };

@@ -34,37 +34,44 @@ std::vector<std::string> plan_key_symbols(const hpf::ParallelLoop& loop,
   };
   for (const auto& r : loop.reads) add_ref(r);
   for (const auto& w : loop.writes) add_ref(w);
+  for (const auto& ir : loop.ind_reads) {
+    arrays.insert(ir.array);
+    arrays.insert(ir.index_array);
+    for (const auto& sub : ir.index_subs) add_expr(sub);
+  }
   for (const auto& name : arrays)
     for (const auto& e : prog.array(name).extents) add_expr(e);
 
   return {syms.begin(), syms.end()};
 }
 
-std::vector<std::int64_t> PlanCache::key_of(const Slot& s,
-                                            const hpf::Bindings& b) {
+std::vector<std::int64_t> PlanCache::key_of(
+    const Slot& s, const hpf::Bindings& b,
+    const std::vector<std::int64_t>& extra) {
   std::vector<std::int64_t> key;
-  key.reserve(s.symbols.size());
+  key.reserve(s.symbols.size() + extra.size());
   for (const auto& sym : s.symbols) key.push_back(b.get(sym));
+  key.insert(key.end(), extra.begin(), extra.end());
   return key;
 }
 
-const PlanCache::Entry* PlanCache::lookup(const hpf::ParallelLoop& loop,
-                                          const hpf::Program& prog,
-                                          const hpf::Bindings& b) {
+const PlanCache::Entry* PlanCache::lookup(
+    const hpf::ParallelLoop& loop, const hpf::Program& prog,
+    const hpf::Bindings& b, const std::vector<std::int64_t>& extra_key) {
   auto [it, fresh] = slots_.try_emplace(&loop);
   if (fresh) it->second.symbols = plan_key_symbols(loop, prog);
   Slot& slot = it->second;
-  if (slot.miss_streak >= kGiveUpAfter) {  // abandoned: skip key evaluation
+  if (slot.miss_streak >= give_up_after_) {  // abandoned: skip key evaluation
     ++misses_;
     return nullptr;
   }
-  if (slot.filled && slot.entry.key == key_of(slot, b)) {
+  if (slot.filled && slot.entry.key == key_of(slot, b, extra_key)) {
     slot.miss_streak = 0;
     ++hits_;
     return &slot.entry;
   }
   ++misses_;
-  if (++slot.miss_streak >= kGiveUpAfter) {
+  if (++slot.miss_streak >= give_up_after_) {
     slot.entry = Entry{};  // free the storage; the loop will never hit
     slot.filled = false;
   }
@@ -73,17 +80,17 @@ const PlanCache::Entry* PlanCache::lookup(const hpf::ParallelLoop& loop,
 
 bool PlanCache::should_store(const hpf::ParallelLoop& loop) const {
   auto it = slots_.find(&loop);
-  return it == slots_.end() || it->second.miss_streak < kGiveUpAfter;
+  return it == slots_.end() || it->second.miss_streak < give_up_after_;
 }
 
 const PlanCache::Entry& PlanCache::insert(
     const hpf::ParallelLoop& loop, const hpf::Program& prog,
     const hpf::Bindings& b, std::vector<hpf::Transfer> transfers,
-    CommPlan plan) {
+    CommPlan plan, const std::vector<std::int64_t>& extra_key) {
   auto [it, fresh] = slots_.try_emplace(&loop);
   if (fresh) it->second.symbols = plan_key_symbols(loop, prog);
   Slot& slot = it->second;
-  slot.entry.key = key_of(slot, b);
+  slot.entry.key = key_of(slot, b, extra_key);
   slot.entry.transfers = std::move(transfers);
   slot.entry.plan = std::move(plan);
   slot.filled = true;

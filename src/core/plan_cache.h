@@ -58,37 +58,49 @@ class PlanCache {
   };
 
   // Returns the cached entry for `loop` if the key symbol values under `b`
-  // match the stored key; nullptr on miss (including first visit).
+  // (plus any caller-supplied extra key components, e.g. the inspector's
+  // index-array version counters) match the stored key; nullptr on miss
+  // (including first visit).
   const Entry* lookup(const hpf::ParallelLoop& loop,
-                      const hpf::Program& prog, const hpf::Bindings& b);
+                      const hpf::Program& prog, const hpf::Bindings& b,
+                      const std::vector<std::int64_t>& extra_key = {});
 
   // Stores (replacing any previous entry) the analysis + plan for `loop`
-  // under the key extracted from `b`, and returns the stored entry.
+  // under the key extracted from `b` (appended with `extra_key`), and
+  // returns the stored entry.
   const Entry& insert(const hpf::ParallelLoop& loop,
                       const hpf::Program& prog, const hpf::Bindings& b,
-                      std::vector<hpf::Transfer> transfers, CommPlan plan);
+                      std::vector<hpf::Transfer> transfers, CommPlan plan,
+                      const std::vector<std::int64_t>& extra_key = {});
 
-  // False once `loop` has been abandoned (kGiveUpAfter consecutive
+  // False once `loop` has been abandoned (give_up_after consecutive
   // misses): callers should not bother building an entry to store.
   bool should_store(const hpf::ParallelLoop& loop) const;
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
-  static constexpr int kGiveUpAfter = 8;
+  // Abandonment threshold (consecutive misses). Set before the first
+  // lookup; benches wire --plan-cache-misses=N through here.
+  void set_give_up_after(int n) { give_up_after_ = n > 0 ? n : 1; }
+  int give_up_after() const { return give_up_after_; }
+
+  static constexpr int kGiveUpAfter = 8;  // the default threshold
 
  private:
   struct Slot {
     std::vector<std::string> symbols;  // computed once per loop (structural)
     Entry entry;
     bool filled = false;
-    int miss_streak = 0;  // consecutive lookup misses; >= kGiveUpAfter: dead
+    int miss_streak = 0;  // consecutive lookup misses; >= give_up_after_: dead
   };
-  std::vector<std::int64_t> key_of(const Slot& s, const hpf::Bindings& b);
+  std::vector<std::int64_t> key_of(const Slot& s, const hpf::Bindings& b,
+                                   const std::vector<std::int64_t>& extra);
 
   std::map<const hpf::ParallelLoop*, Slot> slots_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  int give_up_after_ = kGiveUpAfter;
 };
 
 }  // namespace fgdsm::core

@@ -1,5 +1,6 @@
 #include "src/exec/executor.h"
 
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <set>
@@ -7,6 +8,8 @@
 #include "src/core/plan.h"
 #include "src/core/plan_cache.h"
 #include "src/hpf/analysis.h"
+#include "src/irreg/inspector.h"
+#include "src/irreg/runtime.h"
 #include "src/mp/runtime.h"
 #include "src/proto/stache.h"
 #include "src/sim/trace.h"
@@ -145,6 +148,13 @@ class Executor {
       case Mode::kSerial:
         break;
     }
+    // Inspector–executor runtime: only the planned modes inspect (the
+    // default protocol and the serial interpreter handle indirection
+    // transparently), and only programs with indirect reads need it.
+    if ((cfg_.opt.mode == Mode::kShmemOpt ||
+         cfg_.opt.mode == Mode::kMsgPassing) &&
+        irreg::has_indirect(prog_))
+      irreg_ = std::make_unique<irreg::IrregRuntime>(cluster_);
     nodes_.resize(static_cast<std::size_t>(cluster_.nnodes()));
   }
 
@@ -192,6 +202,7 @@ class Executor {
     st.task = &t;
     st.bind = bind0();
     st.bind.set(hpf::kSymProc, n.id());
+    st.plan_cache.set_give_up_after(cfg_.opt.plan_cache_misses);
     exec_phases(prog_.phases, st);
     n.barrier(t);
     st.snap = n.stats;
@@ -266,14 +277,24 @@ class Executor {
       return;
     }
 
+    const bool irregular = irreg::has_indirect(loop);
     CommPlan plan;
     if (cfg_.opt.mode == Mode::kShmemOpt || cfg_.opt.mode == Mode::kMsgPassing)
-      plan = plan_for_loop(loop, st);
+      plan = irregular ? plan_for_irreg_loop(loop, st)
+                       : plan_for_loop(loop, st);
 
+    // Executor half of the inspector–executor pair: replaying the
+    // materialized schedule is the ordinary prologue/epilogue below, traced
+    // separately so schedule replay is attributable against inspection.
+    const sim::Time sched0 = t.now();
     if (cfg_.opt.mode == Mode::kShmemOpt && plan.any_comm)
       ccc_prologue(loop, plan, st);
     if (cfg_.opt.mode == Mode::kMsgPassing && plan.any_comm)
       mp_prologue(plan, st);
+    if (irregular && plan.any_comm)
+      if (auto* tr = cluster_.tracer())
+        tr->span(sim::Tracer::compute_track(n.id()), "schedule-exec",
+                 loop.name, sched0, t.now());
 
     run_chunks(loop, st, iters, /*checks=*/shmem(), 1.0);
 
@@ -352,6 +373,69 @@ class Executor {
     if (st.plan_cache.should_store(loop))
       st.plan_cache.insert(loop, prog_, st.bind, std::move(transfers), plan);
     if (elide) return CommPlan{};
+    return plan;
+  }
+
+  // The plan for a loop with indirect reads. The affine analysis still
+  // covers the loop's direct references (including the indirection arrays
+  // themselves); the inspector contributes the data-dependent gather set:
+  // scan the local index slice, exchange need lists, fold the identical
+  // global set into transfers on every node, and lower the union.
+  //
+  // The schedule is cached keyed on the indirection arrays' write versions
+  // (bumped identically on every node by bump_versions), so iterative apps
+  // inspect once and replay — the CHAOS/PARTI amortization. Hits and misses
+  // are symmetric cluster-wide (same versions, same symbols, same give-up
+  // threshold), which keeps the collective exchange() calls aligned.
+  //
+  // Availability filtering (elim_redundant_comm) is deliberately not
+  // applied: its transfer-set equality test would have to re-run the
+  // inspector to produce the set it compares, defeating the elision.
+  CommPlan plan_for_irreg_loop(const hpf::ParallelLoop& loop, NodeRun& st) {
+    const int np = cluster_.nnodes();
+    const std::size_t bs = cluster_.block_size();
+    const bool align = cfg_.opt.mode == Mode::kShmemOpt;
+    const int me = st.node->id();
+    Node& n = *st.node;
+    sim::Task& t = *st.task;
+
+    std::vector<std::int64_t> extra;
+    {
+      std::set<std::string> idx;
+      for (const auto& ir : loop.ind_reads) idx.insert(ir.index_array);
+      for (const auto& name : idx) extra.push_back(st.write_version[name]);
+    }
+
+    if (cfg_.opt.plan_cache) {
+      const core::PlanCache::Entry* e =
+          st.plan_cache.lookup(loop, prog_, st.bind, extra);
+      if (e != nullptr) {
+        ++n.stats.sched_cache_hits;
+        return e->plan;
+      }
+      ++n.stats.sched_cache_misses;
+    }
+
+    ++n.stats.irreg_inspections;
+    const sim::Time t0 = t.now();
+    irreg::ScanResult sr = irreg::scan(loop, prog_, st.bind, layouts_, np, n,
+                                       t, /*ensure_index=*/shmem());
+    const std::vector<std::vector<irreg::Need>> all =
+        irreg_->exchange(n, t, std::move(sr.needs));
+    auto transfers = hpf::analyze_transfers(loop, prog_, st.bind, np);
+    auto gathers = irreg::needs_to_transfers(all, loop, prog_, st.bind, np);
+    transfers.insert(transfers.end(),
+                     std::make_move_iterator(gathers.begin()),
+                     std::make_move_iterator(gathers.end()));
+    CommPlan plan =
+        core::plan_from_transfers(transfers, layouts_, me, bs, align);
+    n.stats.ccc_ns += t.now() - t0;
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(me), "inspect", loop.name, t0,
+               t.now());
+    if (cfg_.opt.plan_cache && st.plan_cache.should_store(loop))
+      st.plan_cache.insert(loop, prog_, st.bind, std::move(transfers), plan,
+                           extra);
     return plan;
   }
 
@@ -543,6 +627,40 @@ class Executor {
           for (const Run& r : footprint_runs(loop, ref, st, j, ext_cache))
             write_runs.push_back(Node::Extent{r.addr, r.len});
         }
+        // Indirect reads: the chunk's index footprint is affine, but the
+        // data footprint exists only as the stored index values. Fault the
+        // index runs readable first (so the values can be read), then add
+        // the per-element data extents to the same atomic validation.
+        for (const auto& ir : loop.ind_reads) {
+          hpf::ArrayRef iref;
+          iref.array = ir.index_array;
+          iref.subs = ir.index_subs;
+          const std::vector<Run> iruns =
+              footprint_runs(loop, iref, st, j, ext_cache);
+          if (!replicated(ir.index_array)) {
+            for (const Run& r : iruns) {
+              n.ensure_readable(t, r.addr, r.len);
+              read_runs.push_back(Node::Extent{r.addr, r.len});
+            }
+          }
+          if (replicated(ir.array)) continue;
+          const hpf::ArrayLayout& dlay = layouts_.at(ir.array);
+          const std::int64_t dn = dlay.extents[0];
+          for (const Run& r : iruns) {
+            const double* vals =
+                reinterpret_cast<const double*>(n.mem(r.addr));
+            const std::size_t count = r.len / sizeof(double);
+            for (std::size_t kk = 0; kk < count; ++kk) {
+              const std::int64_t e =
+                  std::llround(vals[kk]) + ir.value_offset;
+              FGDSM_ASSERT_MSG(e >= 0 && e < dn,
+                               "indirection value out of range: "
+                                   << ir.array << "(" << e << ") of " << dn);
+              read_runs.push_back(Node::Extent{
+                  dlay.base + static_cast<GAddr>(e) * dlay.elem, dlay.elem});
+            }
+          }
+        }
         n.ensure_chunk(t, read_runs, write_runs);
       }
       ExecCtx ctx(st, layouts_, j);
@@ -571,6 +689,9 @@ class Executor {
     };
     for (const auto& r : loop.reads) add(r);
     for (const auto& w : loop.writes) add(w);
+    for (const auto& ir : loop.ind_reads)
+      if (!m.count(ir.index_array))
+        m[ir.index_array] = layouts_.at(ir.index_array).extents;
     return m;
   }
 
@@ -644,6 +765,7 @@ class Executor {
   tempest::Cluster cluster_;
   std::unique_ptr<proto::Stache> stache_;
   std::unique_ptr<mp::MpRuntime> mp_;
+  std::unique_ptr<irreg::IrregRuntime> irreg_;
   core::LayoutMap layouts_;
   Bindings base_bind_;
   std::vector<NodeRun> nodes_;

@@ -47,9 +47,40 @@ AffineExpr to_affine(const ExprPtr& e) {
 }
 
 // ---- collect array references ----
-void collect_refs(const ExprPtr& e, std::vector<hpf::ArrayRef>& out) {
+// `ind` receives indirect references A(idx(...)) — a gather through an
+// indirection array, the inspector–executor runtime's input. Null for
+// contexts where indirection is not supported (the left-hand side: a
+// runtime scatter schedule would need multi-writer flush merging).
+void collect_refs(const ExprPtr& e, std::vector<hpf::ArrayRef>& out,
+                  std::vector<hpf::IndirectRef>* ind) {
   switch (e->kind) {
     case Expr::Kind::kArrayRef: {
+      if (e->subs.size() == 1 &&
+          e->subs[0]->kind == Expr::Kind::kArrayRef) {
+        if (ind == nullptr)
+          throw ParseError(e->line,
+                           "indirect reference is not allowed on the "
+                           "left-hand side (gather only)");
+        const ExprPtr& ix = e->subs[0];
+        hpf::IndirectRef r;
+        r.array = e->name;
+        r.index_array = ix->name;
+        for (const auto& s : ix->subs)
+          r.index_subs.push_back(to_affine(s) - 1);
+        r.value_offset = -1;  // stored values are Fortran 1-based
+        bool dup = false;
+        for (const auto& existing : *ind)
+          if (existing.array == r.array &&
+              existing.index_array == r.index_array &&
+              existing.index_subs == r.index_subs) {
+            dup = true;
+            break;
+          }
+        if (!dup) ind->push_back(std::move(r));
+        // The indirection array itself is an ordinary affine read.
+        collect_refs(ix, out, ind);
+        return;
+      }
       hpf::ArrayRef r;
       r.array = e->name;
       for (const auto& s : e->subs)
@@ -58,15 +89,15 @@ void collect_refs(const ExprPtr& e, std::vector<hpf::ArrayRef>& out) {
       for (const auto& existing : out)
         if (existing.array == r.array && existing.subs == r.subs) return;
       out.push_back(std::move(r));
-      for (const auto& s : e->subs) collect_refs(s, out);
+      for (const auto& s : e->subs) collect_refs(s, out, ind);
       return;
     }
     case Expr::Kind::kBinOp:
-      collect_refs(e->lhs, out);
-      collect_refs(e->rhs, out);
+      collect_refs(e->lhs, out, ind);
+      collect_refs(e->rhs, out, ind);
       return;
     case Expr::Kind::kNeg:
-      collect_refs(e->lhs, out);
+      collect_refs(e->lhs, out, ind);
       return;
     default:
       return;
@@ -210,10 +241,11 @@ hpf::Program lower(const ProgramAst& ast) {
     loop.home_sub = AffineExpr::sym(loop.dist.sym) - 1;  // 0-based
 
     for (const Assign& a : nest.body) {
-      collect_refs(a.lhs, loop.writes);
+      collect_refs(a.lhs, loop.writes, nullptr);
       // The LHS subscripts themselves are reads.
-      for (const auto& s : a.lhs->subs) collect_refs(s, loop.reads);
-      collect_refs(a.rhs, loop.reads);
+      for (const auto& s : a.lhs->subs)
+        collect_refs(s, loop.reads, &loop.ind_reads);
+      collect_refs(a.rhs, loop.reads, &loop.ind_reads);
     }
     loop.cost_per_iter_ns = 60.0 * static_cast<double>(nest.body.size());
 

@@ -45,6 +45,20 @@ struct ArrayRef {
   std::vector<AffineExpr> subs;
 };
 
+// An indirection-array read: array(index_array(index_subs) + value_offset).
+// The data array must be 1-D; the index array's subscripts are affine, so the
+// compiler can reason about *which index elements* a chunk reads, while the
+// *data* access set exists only at run time — the inspector–executor
+// subsystem (src/irreg) computes it by scanning the index values. The stored
+// values are interpreted as element indices after adding value_offset
+// (e.g. -1 for Fortran 1-based sources).
+struct IndirectRef {
+  std::string array;                  // the 1-D data array being gathered
+  std::string index_array;            // the indirection array
+  std::vector<AffineExpr> index_subs; // affine subscripts into index_array
+  std::int64_t value_offset = 0;      // added to each stored index value
+};
+
 enum class ReduceOp { kSum, kMax, kMin };
 
 // Execution-time context handed to loop bodies; implemented by the executor.
@@ -117,6 +131,10 @@ struct ParallelLoop {
 
   std::vector<ArrayRef> reads;
   std::vector<ArrayRef> writes;
+  // Irregular (runtime-resolved) reads; empty for purely affine loops. The
+  // index arrays must also appear in `reads` with the same subscripts so the
+  // affine machinery keeps them coherent.
+  std::vector<IndirectRef> ind_reads;
 
   // Executes one chunk (one value of the dist variable) on local storage.
   std::function<void(BodyCtx&)> body;

@@ -1,0 +1,180 @@
+#include "src/irreg/inspector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/hpf/distribution.h"
+#include "src/hpf/layout.h"
+#include "src/tempest/cluster.h"
+#include "src/util/assert.h"
+
+namespace fgdsm::irreg {
+
+using hpf::ConcreteInterval;
+using hpf::ConcreteSection;
+using hpf::Run;
+
+bool has_indirect(const hpf::ParallelLoop& loop) {
+  return !loop.ind_reads.empty();
+}
+
+namespace {
+bool phases_have_indirect(const std::vector<hpf::Phase>& phases) {
+  for (const auto& ph : phases) {
+    switch (ph.kind) {
+      case hpf::Phase::Kind::kParallelLoop:
+        if (has_indirect(*ph.loop)) return true;
+        break;
+      case hpf::Phase::Kind::kTimeLoop:
+        if (phases_have_indirect(ph.time->phases)) return true;
+        break;
+      case hpf::Phase::Kind::kScalar:
+        break;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool has_indirect(const hpf::Program& prog) {
+  return phases_have_indirect(prog.phases);
+}
+
+std::vector<std::string> gather_arrays(const hpf::ParallelLoop& loop,
+                                       const hpf::Program& prog) {
+  std::set<std::string> names;
+  for (const auto& ir : loop.ind_reads) {
+    const hpf::ArrayDecl& a = prog.array(ir.array);
+    if (a.dist == hpf::DistKind::kReplicated) continue;  // local reads
+    FGDSM_ASSERT_MSG(a.extents.size() == 1,
+                     "indirect read of multi-dimensional array " << ir.array);
+    FGDSM_ASSERT_MSG(a.dist == hpf::DistKind::kBlock,
+                     "indirect read of non-BLOCK array " << ir.array);
+    names.insert(ir.array);
+  }
+  return {names.begin(), names.end()};
+}
+
+ScanResult scan(const hpf::ParallelLoop& loop, const hpf::Program& prog,
+                const hpf::Bindings& b, const core::LayoutMap& layouts,
+                int np, tempest::Node& node, sim::Task& task,
+                bool ensure_index) {
+  ScanResult res;
+  const std::vector<std::string> canon = gather_arrays(loop, prog);
+  if (canon.empty()) return res;
+  const int me = node.id();
+  const ConcreteInterval iters = hpf::local_iters(loop, prog, b, np, me);
+
+  // Needed elements per canonical array, deduplicated as we go.
+  std::vector<std::set<std::int64_t>> needed(canon.size());
+
+  for (const auto& ir : loop.ind_reads) {
+    const auto cit = std::find(canon.begin(), canon.end(), ir.array);
+    if (cit == canon.end()) continue;  // replicated: local
+    const std::size_t aid = static_cast<std::size_t>(cit - canon.begin());
+    const std::int64_t n = hpf::array_extents(prog.array(ir.array), b)[0];
+    const ConcreteInterval owned =
+        hpf::owned_interval(hpf::DistKind::kBlock, me, n, np);
+    if (iters.empty()) continue;
+
+    hpf::ArrayRef idx_ref;
+    idx_ref.array = ir.index_array;
+    idx_ref.subs = ir.index_subs;
+    ConcreteSection sec = hpf::ref_section(loop, idx_ref, prog, b, iters);
+    const hpf::ArrayDecl& idx_decl = prog.array(ir.index_array);
+    const std::vector<std::int64_t> ext = hpf::array_extents(idx_decl, b);
+    for (std::size_t d = 0; d < sec.dims.size(); ++d)
+      sec.dims[d] =
+          hpf::intersect(sec.dims[d], ConcreteInterval{0, ext[d] - 1, 1});
+    if (sec.empty()) continue;
+
+    const hpf::ArrayLayout& lay = layouts.at(ir.index_array);
+    const ConcreteSection idx_owned_sec =
+        hpf::owned_section(idx_decl, b, np, me);
+    for (const Run& r : hpf::linearize(lay, sec)) {
+      if (ensure_index) {
+        node.ensure_readable(task, r.addr, r.len);
+      } else if (idx_decl.dist != hpf::DistKind::kReplicated) {
+        // Message passing has no fault path to pull remote index data in
+        // before the schedule exists: the index footprint must be owned.
+        const ConcreteInterval last = sec.dims.back();
+        const ConcreteInterval idx_owned = idx_owned_sec.dims.back();
+        FGDSM_ASSERT_MSG(last.lo >= idx_owned.lo && last.hi <= idx_owned.hi,
+                         "message-passing inspector requires an aligned "
+                         "indirection array ("
+                             << ir.index_array << ")");
+      }
+      const double* vals = reinterpret_cast<const double*>(node.mem(r.addr));
+      const std::size_t count = r.len / sizeof(double);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::int64_t e =
+            std::llround(vals[i]) + ir.value_offset;
+        FGDSM_ASSERT_MSG(e >= 0 && e < n,
+                         "indirection value out of range: " << ir.array << "("
+                             << e << ") of " << n);
+        if (e < owned.lo || e > owned.hi) needed[aid].insert(e);
+      }
+      res.elements_scanned += static_cast<std::int64_t>(count);
+    }
+  }
+
+  // Merge each array's element set into maximal disjoint intervals.
+  for (std::size_t aid = 0; aid < needed.size(); ++aid) {
+    const auto& els = needed[aid];
+    for (auto it = els.begin(); it != els.end();) {
+      Need nd;
+      nd.array = static_cast<std::int64_t>(aid);
+      nd.lo = nd.hi = *it;
+      ++it;
+      while (it != els.end() && *it == nd.hi + 1) {
+        nd.hi = *it;
+        ++it;
+      }
+      res.needs.push_back(nd);
+    }
+  }
+
+  // Deterministic inspection cost: one runtime-call entry plus a streaming
+  // pass over the scanned index values.
+  const sim::CostModel& costs = node.cluster().costs();
+  task.charge(costs.ccc_call_overhead +
+              costs.copy_time(res.elements_scanned *
+                              static_cast<std::int64_t>(sizeof(double))));
+  return res;
+}
+
+std::vector<hpf::Transfer> needs_to_transfers(
+    const std::vector<std::vector<Need>>& needs_by_node,
+    const hpf::ParallelLoop& loop, const hpf::Program& prog,
+    const hpf::Bindings& b, int np) {
+  const std::vector<std::string> canon = gather_arrays(loop, prog);
+  std::vector<hpf::Transfer> out;
+  for (int p = 0; p < np; ++p) {
+    for (const Need& nd : needs_by_node[static_cast<std::size_t>(p)]) {
+      FGDSM_ASSERT_MSG(
+          nd.array >= 0 &&
+              nd.array < static_cast<std::int64_t>(canon.size()),
+          "bad array id " << nd.array << " in needs exchange");
+      const std::string& name = canon[static_cast<std::size_t>(nd.array)];
+      const std::int64_t n = hpf::array_extents(prog.array(name), b)[0];
+      for (int q = 0; q < np; ++q) {
+        if (q == p) continue;
+        const ConcreteInterval inter = hpf::intersect(
+            ConcreteInterval{nd.lo, nd.hi, 1},
+            hpf::owned_interval(hpf::DistKind::kBlock, q, n, np));
+        if (inter.empty()) continue;
+        hpf::Transfer t;
+        t.array = name;
+        t.sender = q;
+        t.receiver = p;
+        t.section.dims = {inter};
+        t.for_write = false;
+        out.push_back(std::move(t));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fgdsm::irreg

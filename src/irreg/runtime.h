@@ -1,0 +1,57 @@
+// Needs exchange of the inspector–executor runtime: an all-to-all broadcast
+// of each node's Need list so every node can fold the identical global
+// transfer set (inspector.h step 2).
+//
+// Broadcast, not owner-targeted queries, on purpose: the executor's CCC
+// contract counts expected sends/receives with semaphores, so every node
+// must know the complete transfer set — including pairs it is not part of —
+// to agree on any_comm/any_flush and barrier placement. A broadcast gives
+// that in one round with no reply traffic.
+//
+// Like the MP backend, the exchange runs without barriers, so a fast node
+// can start inspection round k+1 while a slow node still waits in round k.
+// Messages carry the sender's inspection sequence number; future-sequence
+// arrivals are stashed and applied when the receiver's exchange() catches up
+// (the MpRuntime epoch-stash pattern). Per-link FIFO delivery (restored by
+// the reliable channel under chaos) keeps sequences monotone per link.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/irreg/inspector.h"
+#include "src/sim/sync.h"
+#include "src/tempest/cluster.h"
+#include "src/tempest/node.h"
+
+namespace fgdsm::irreg {
+
+class IrregRuntime {
+ public:
+  // Registers the kIrregNeeds handler. Must outlive the run.
+  explicit IrregRuntime(tempest::Cluster& cluster);
+
+  // Broadcast this node's need list and collect every other node's.
+  // Collective: every node must call it the same number of times in the
+  // same order (guaranteed because inspection points are derived from the
+  // identical program on every node). Returns the np need lists indexed by
+  // node id; entry node.id() is `mine` moved through.
+  std::vector<std::vector<Need>> exchange(tempest::Node& node,
+                                          sim::Task& task,
+                                          std::vector<Need> mine);
+
+ private:
+  struct NodeState {
+    std::int64_t seq = 0;  // inspection sequence (next exchange to complete)
+    std::vector<std::vector<Need>> recv;  // per sender, current sequence
+    std::map<std::int64_t, std::vector<sim::Message>> stash;  // future seqs
+    sim::Semaphore sem;  // one post per current-sequence arrival
+  };
+  void apply(NodeState& st, const sim::Message& m);
+
+  tempest::Cluster& cluster_;
+  std::vector<NodeState> st_;
+};
+
+}  // namespace fgdsm::irreg

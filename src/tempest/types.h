@@ -55,6 +55,11 @@ enum class MsgType : std::uint16_t {
   // Message-passing backend.
   kMpData,
 
+  // Inspector–executor runtime (src/irreg): broadcast of one node's needed
+  // element intervals for an irregular loop, tagged with the sender's
+  // inspection sequence number.
+  kIrregNeeds,
+
   // Synchronization.
   kBarrierArrive,
   kBarrierRelease,
@@ -83,6 +88,7 @@ inline const char* to_string(MsgType t) {
     case MsgType::kDirectData: return "direct_data";
     case MsgType::kCccFlush: return "ccc_flush";
     case MsgType::kMpData: return "mp_data";
+    case MsgType::kIrregNeeds: return "irreg_needs";
     case MsgType::kBarrierArrive: return "barrier_arrive";
     case MsgType::kBarrierRelease: return "barrier_release";
     case MsgType::kReduceUp: return "reduce_up";

@@ -33,6 +33,15 @@ struct NodeStats {
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
 
+  // Inspector–executor runtime (src/irreg): inspections actually performed
+  // (index-array scan + needs exchange) and schedule-cache outcomes for
+  // irregular-loop visits in the scheduled modes. Unlike the plan-cache
+  // counters, a sched_cache miss costs simulated time (the exchange is real
+  // communication), so the hit rate is a *simulated* quantity.
+  std::uint64_t irreg_inspections = 0;
+  std::uint64_t sched_cache_hits = 0;
+  std::uint64_t sched_cache_misses = 0;
+
   // Network traffic (all causes).
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
@@ -79,6 +88,9 @@ struct NodeStats {
     fn("ccc_calls_elided", &NodeStats::ccc_calls_elided);
     fn("plan_cache_hits", &NodeStats::plan_cache_hits);
     fn("plan_cache_misses", &NodeStats::plan_cache_misses);
+    fn("irreg_inspections", &NodeStats::irreg_inspections);
+    fn("sched_cache_hits", &NodeStats::sched_cache_hits);
+    fn("sched_cache_misses", &NodeStats::sched_cache_misses);
     fn("messages_sent", &NodeStats::messages_sent);
     fn("bytes_sent", &NodeStats::bytes_sent);
     fn("retransmits", &NodeStats::retransmits);

@@ -168,5 +168,104 @@ TEST(Lower, CompiledProgramExecutesCorrectly) {
   }
 }
 
+// Irregular gather source: y(j) = 2 * x(idx(j)). The frontend must lower
+// the x(idx(j)) reference to an IndirectRef (with the Fortran 1-based
+// value_offset), classify idx as an affine read, and keep x out of the
+// affine read set (its footprint is only known at inspection time).
+const char* kGatherSrc = R"(
+PROGRAM gather
+  PARAMETER (n = 64)
+  REAL x(n), y(n), idx(n)
+!HPF$ PROCESSORS P(*)
+!HPF$ DISTRIBUTE x(BLOCK)
+!HPF$ DISTRIBUTE y(BLOCK)
+!HPF$ DISTRIBUTE idx(BLOCK)
+
+!HPF$ INDEPENDENT, ON HOME (x(j))
+  DO j = 1, n
+    x(j) = 0.5 * j
+    idx(j) = n + 1 - j
+    y(j) = 0
+  END DO
+
+!HPF$ INDEPENDENT, ON HOME (y(j))
+  DO j = 1, n
+    y(j) = 2 * x(idx(j))
+  END DO
+END
+)";
+
+TEST(Lower, IndirectReadBecomesIndirectRef) {
+  const hpf::Program prog = compile(kGatherSrc);
+  ASSERT_EQ(prog.phases.size(), 2u);
+  const hpf::ParallelLoop& gather = *prog.phases[1].loop;
+
+  ASSERT_EQ(gather.ind_reads.size(), 1u);
+  const hpf::IndirectRef& ir = gather.ind_reads[0];
+  EXPECT_EQ(ir.array, "x");
+  EXPECT_EQ(ir.index_array, "idx");
+  ASSERT_EQ(ir.index_subs.size(), 1u);
+  EXPECT_EQ(ir.value_offset, -1);  // Fortran sources store 1-based indices
+  Bindings b;
+  b.set("j", 5);
+  EXPECT_EQ(ir.index_subs[0].eval(b), 4);  // 0-based shift applied
+
+  // idx itself is read through an affine subscript; x is not (its
+  // footprint is data-dependent, owned by the inspector).
+  bool reads_idx = false, reads_x = false;
+  for (const auto& r : gather.reads) {
+    if (r.array == "idx") reads_idx = true;
+    if (r.array == "x") reads_x = true;
+  }
+  EXPECT_TRUE(reads_idx);
+  EXPECT_FALSE(reads_x);
+}
+
+TEST(Lower, RejectsIndirectWrite) {
+  const char* src = R"(
+PROGRAM scatter
+  PARAMETER (n = 8)
+  REAL x(n), idx(n)
+!HPF$ DISTRIBUTE x(BLOCK)
+!HPF$ DISTRIBUTE idx(BLOCK)
+!HPF$ INDEPENDENT
+  DO j = 1, n
+    x(idx(j)) = 1.0
+  END DO
+END
+)";
+  EXPECT_THROW(compile(src), ParseError);  // gather only, no scatter
+}
+
+TEST(Lower, CompiledGatherExecutesCorrectly) {
+  const hpf::Program prog = compile(kGatherSrc);
+  auto run_with = [&](core::Options opt, int nodes) {
+    exec::RunConfig cfg;
+    cfg.cluster.nnodes = nodes;
+    cfg.opt = opt;
+    cfg.gather_arrays = true;
+    return exec::run(prog, cfg);
+  };
+  const auto serial = run_with(core::serial(), 1);
+  const auto unopt = run_with(core::shmem_unopt(), 4);
+  const auto opt = run_with(core::shmem_opt_full(), 4);
+  const auto mp = run_with(core::msg_passing(), 4);
+
+  // y(j) = 2 * x(n+1-j) = 2 * 0.5 * (n+1-j) = 65 - j (1-based j).
+  const auto& y = serial.arrays.at("y");
+  ASSERT_EQ(y.size(), 64u);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_DOUBLE_EQ(y[i], 64.0 - static_cast<double>(i)) << i;
+
+  for (const auto& [name, va] : serial.arrays) {
+    for (const auto* r : {&unopt, &opt, &mp}) {
+      const auto& vr = r->arrays.at(name);
+      ASSERT_EQ(va.size(), vr.size()) << name;
+      for (std::size_t i = 0; i < va.size(); ++i)
+        ASSERT_EQ(va[i], vr[i]) << name << "[" << i << "]";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fgdsm::hpf::frontend

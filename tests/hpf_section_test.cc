@@ -252,6 +252,29 @@ TEST(Layout, BlockAlignInnerDropsSmallRuns) {
   EXPECT_EQ(out[0], (hpf::Run{128, 128}));
 }
 
+TEST(Layout, BlockAlignInnerEmptyAfterAlignment) {
+  // Crosses a block boundary yet contains no full block: [10, 210) touches
+  // blocks 0 and 1 but covers neither — everything stays with the default
+  // protocol (the trimmed-edge case the inspector's schedules rely on).
+  EXPECT_TRUE(block_align_inner({hpf::Run{10, 200}}, 128).empty());
+}
+
+TEST(Layout, BlockAlignInnerSingleBlockFromMidBlockStart) {
+  // [120, 260) contains exactly block 1 ([128, 256)).
+  const auto out = block_align_inner({hpf::Run{120, 140}}, 128);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (hpf::Run{128, 128}));
+}
+
+TEST(Layout, BlockAlignInnerMidBlockStartLongRun) {
+  // [100, 1100): first full block starts at 128, last ends at 1024 — both
+  // partial edges trimmed, interior kept as one run.
+  const auto out = block_align_inner({hpf::Run{100, 1000}}, 128);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].addr, 128u);
+  EXPECT_EQ(out[0].len, 896u);
+}
+
 TEST(Layout, BlockAlignInnerPropertyRandom) {
   std::mt19937 rng(5);
   for (int trial = 0; trial < 300; ++trial) {

@@ -182,6 +182,86 @@ TEST(PlanCache, GivesUpOnLoopsThatNeverHit) {
   EXPECT_TRUE(cache.should_store(*loops.back()));
 }
 
+// The caller-supplied extra key (the inspector's index-array write
+// versions) participates in the cache key: same extra hits, different
+// extra misses, and a lookup with no extra does not alias an entry stored
+// with one.
+TEST(PlanCache, ExtraKeyParticipatesInKey) {
+  constexpr int kNp = 4;
+  const hpf::Program prog = apps::jacobi(96, 4);
+  hpf::Bindings b = base_bindings(prog, kNp);
+  std::vector<const hpf::ParallelLoop*> loops;
+  collect_loops(prog.phases, loops, b);
+  const hpf::ParallelLoop& loop = *loops.front();
+  const LayoutMap layouts = make_layouts(prog, b, 128);
+
+  PlanCache cache;
+  auto transfers = hpf::analyze_transfers(loop, prog, b, kNp);
+  CommPlan plan = plan_from_transfers(transfers, layouts, 0, 128, true);
+  cache.insert(loop, prog, b, transfers, plan, /*extra_key=*/{7});
+
+  const PlanCache::Entry* e = cache.lookup(loop, prog, b, {7});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->plan, plan);
+  EXPECT_EQ(cache.lookup(loop, prog, b, {8}), nullptr);   // version bumped
+  EXPECT_EQ(cache.lookup(loop, prog, b, {}), nullptr);    // no extra at all
+  EXPECT_EQ(cache.lookup(loop, prog, b, {7, 7}), nullptr);  // extra length
+  // The stored entry is intact after all those misses.
+  ASSERT_NE(cache.lookup(loop, prog, b, {7}), nullptr);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+// The abandonment threshold is configurable (--plan-cache-misses=N): with
+// give_up_after(2), two consecutive misses kill the slot; non-positive
+// values clamp to 1.
+TEST(PlanCache, GiveUpThresholdIsConfigurable) {
+  constexpr int kNp = 4;
+  const hpf::Program prog = apps::jacobi(96, 4);
+  hpf::Bindings b = base_bindings(prog, kNp);
+  std::vector<const hpf::ParallelLoop*> loops;
+  collect_loops(prog.phases, loops, b);
+  const hpf::ParallelLoop& loop = *loops.front();
+  const LayoutMap layouts = make_layouts(prog, b, 128);
+  auto transfers = hpf::analyze_transfers(loop, prog, b, kNp);
+  const CommPlan plan = plan_from_transfers(transfers, layouts, 0, 128, true);
+
+  {
+    PlanCache cache;
+    cache.set_give_up_after(2);
+    EXPECT_EQ(cache.give_up_after(), 2);
+    // Drive misses by bumping the extra key each visit (the inspector's
+    // index-array version changing every timestep).
+    for (std::int64_t v = 0; v < 2; ++v) {
+      ASSERT_EQ(cache.lookup(loop, prog, b, {v}), nullptr);
+      if (cache.should_store(loop))
+        cache.insert(loop, prog, b, transfers, plan, {v});
+    }
+    EXPECT_FALSE(cache.should_store(loop));
+    // The slot is dead: even the most recently stored key misses.
+    EXPECT_EQ(cache.lookup(loop, prog, b, {1}), nullptr);
+    EXPECT_EQ(cache.hits(), 0u);
+    // A hit before the streak completes resets it — fresh cache, default
+    // kGiveUpAfter would be 8, but 2 still allows hit-miss-hit patterns.
+    PlanCache c2;
+    c2.set_give_up_after(2);
+    c2.insert(loop, prog, b, transfers, plan, {0});
+    ASSERT_EQ(c2.lookup(loop, prog, b, {1}), nullptr);  // one miss
+    ASSERT_NE(c2.lookup(loop, prog, b, {0}), nullptr);  // hit resets streak
+    ASSERT_EQ(c2.lookup(loop, prog, b, {1}), nullptr);  // one miss again
+    EXPECT_TRUE(c2.should_store(loop));                 // still alive
+  }
+  {
+    PlanCache cache;
+    cache.set_give_up_after(0);
+    EXPECT_EQ(cache.give_up_after(), 1);  // clamps: 0 would never store
+    cache.set_give_up_after(-3);
+    EXPECT_EQ(cache.give_up_after(), 1);
+    ASSERT_EQ(cache.lookup(loop, prog, b, {0}), nullptr);
+    EXPECT_FALSE(cache.should_store(loop));  // one miss is the limit
+  }
+}
+
 // Executor integration: with the cache enabled, iterative apps serve loop
 // visits from cache (hits counted in RunStats) and every simulated
 // observable is bit-identical to a cache-disabled run.
