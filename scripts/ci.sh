@@ -11,6 +11,9 @@
 #                            checker on; results must be bit-identical to
 #                            the fault-free baseline, and a 100%-drop run
 #                            must terminate via the stall watchdog (exit 86)
+#   scripts/ci.sh perf       perf-regression gate: bench_selfperf vs the
+#                            committed BENCH_PERF.json baseline, normalized
+#                            by host calibration, 20% tolerance band
 # Extra cmake args may follow the job name.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -97,8 +100,21 @@ case "$job" in
     }
     echo "chaos: dead-network run correctly exited 86 with link diagnostic"
     ;;
+  perf)
+    # Perf-regression gate: run the simulator self-benchmark and compare
+    # against the committed baseline (BENCH_PERF.json) with a tolerance
+    # band. Normalization against the host's calibrated integer throughput
+    # makes the comparison tolerant of slower/faster CI machines; the wide
+    # band absorbs the rest of the host variance.
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "$@"
+    cmake --build build -j "$jobs" --target bench_selfperf
+    mkdir -p results
+    build/bench/bench_selfperf --reps=3 --json=results/selfperf.json
+    python3 scripts/check_perf.py results/selfperf.json \
+      --baseline BENCH_PERF.json --tolerance 0.20
+    ;;
   *)
-    echo "unknown job '$job' (expected: verify | sanitize | chaos)" >&2
+    echo "unknown job '$job' (expected: verify | sanitize | chaos | perf)" >&2
     exit 2
     ;;
 esac

@@ -170,6 +170,7 @@ class Executor {
                    nodes_[static_cast<std::size_t>(i)].snap_time);
     }
     res.scalars = nodes_[0].scalars;
+    res.engine_events = cluster_.engine().events_processed();
     for (const auto& nr : nodes_)
       for (const auto& [name, delta] : nr.loop_stats)
         res.stats.per_loop[name] += delta;
@@ -610,21 +611,27 @@ class Executor {
     sim::Task& t = *st.task;
     if (iters.empty()) return;
     const auto ext_cache = extents_cache(loop);
+    // Per-chunk scratch, hoisted out of the loop so steady state allocates
+    // nothing (the vectors keep their high-water capacity across chunks).
+    std::vector<Node::Extent> read_runs, write_runs;
+    std::vector<Run> run_scratch, iruns;
     for (std::int64_t j = iters.lo; j <= iters.hi; j += iters.stride) {
-      std::vector<Node::Extent> write_runs;
+      write_runs.clear();
       if (checks) {
         // Validate the whole chunk footprint atomically (a block validated
         // early must not be revoked while a later range's fault stalls).
         // Replicated arrays are per-node private storage: no access control.
-        std::vector<Node::Extent> read_runs;
+        read_runs.clear();
         for (const auto& ref : loop.reads) {
           if (replicated(ref.array)) continue;
-          for (const Run& r : footprint_runs(loop, ref, st, j, ext_cache))
+          footprint_runs_into(loop, ref, st, j, ext_cache, &run_scratch);
+          for (const Run& r : run_scratch)
             read_runs.push_back(Node::Extent{r.addr, r.len});
         }
         for (const auto& ref : loop.writes) {
           if (replicated(ref.array)) continue;
-          for (const Run& r : footprint_runs(loop, ref, st, j, ext_cache))
+          footprint_runs_into(loop, ref, st, j, ext_cache, &run_scratch);
+          for (const Run& r : run_scratch)
             write_runs.push_back(Node::Extent{r.addr, r.len});
         }
         // Indirect reads: the chunk's index footprint is affine, but the
@@ -635,8 +642,7 @@ class Executor {
           hpf::ArrayRef iref;
           iref.array = ir.index_array;
           iref.subs = ir.index_subs;
-          const std::vector<Run> iruns =
-              footprint_runs(loop, iref, st, j, ext_cache);
+          footprint_runs_into(loop, iref, st, j, ext_cache, &iruns);
           if (!replicated(ir.index_array)) {
             for (const Run& r : iruns) {
               n.ensure_readable(t, r.addr, r.len);
@@ -695,28 +701,30 @@ class Executor {
     return m;
   }
 
-  std::vector<Run> footprint_runs(
+  // Clears *out and fills it with the chunk's runs (reusable scratch form;
+  // this is called several times per chunk).
+  void footprint_runs_into(
       const hpf::ParallelLoop& loop, const hpf::ArrayRef& ref, NodeRun& st,
       std::int64_t j,
-      const std::map<std::string, std::vector<std::int64_t>>& ext) {
+      const std::map<std::string, std::vector<std::int64_t>>& ext,
+      std::vector<Run>* out) {
+    out->clear();
     ConcreteSection s = hpf::chunk_footprint(loop, ref, prog_, st.bind, j);
     const auto& e = ext.at(ref.array);
     for (std::size_t d = 0; d < s.dims.size(); ++d)
       s.dims[d] = hpf::intersect(
           s.dims[d], ConcreteInterval{0, e[d] - 1, 1});
-    if (s.empty()) return {};
-    return hpf::linearize(layouts_.at(ref.array), s);
+    if (s.empty()) return;
+    hpf::linearize_into(layouts_.at(ref.array), s, out);
   }
 
   double inner_count(const hpf::ParallelLoop& loop, NodeRun& st,
                      std::int64_t j) {
     if (loop.free.empty()) return 1.0;
-    Bindings b = st.bind;
-    b.set(loop.dist.sym, j);
     double c = 1.0;
     for (const auto& fv : loop.free) {
-      const std::int64_t lo = fv.lo.eval(b);
-      const std::int64_t hi = fv.hi.eval(b);
+      const std::int64_t lo = hpf::eval_with(fv.lo, st.bind, loop.dist.sym, j);
+      const std::int64_t hi = hpf::eval_with(fv.hi, st.bind, loop.dist.sym, j);
       c *= static_cast<double>(hi >= lo ? hi - lo + 1 : 0);
     }
     return c;

@@ -24,26 +24,34 @@ ConcreteInterval eval_subscript(
       coeff = c;
     }
   }
+  // Evaluate `sub` with every loop variable in `ranges` bound to 0 and all
+  // other symbols from `b` — the copy-free equivalent of duplicating the
+  // bindings and zeroing the loop variables (this runs per chunk).
+  const auto eval_outside_loop_vars = [&] {
+    std::int64_t v = sub.constant_term();
+    for (const auto& [s, c] : sub.terms()) {
+      bool is_loop_var = false;
+      for (const auto& [sym, iv] : ranges) {
+        (void)iv;
+        if (sym == s) {
+          is_loop_var = true;
+          break;
+        }
+      }
+      if (!is_loop_var) v += c * b.get(s);
+    }
+    return v;
+  };
   if (var == nullptr) {
     // Constant in loop variables; evaluate directly.
-    Bindings all = b;
-    for (const auto& [sym, iv] : ranges) {
-      (void)iv;
-      if (!all.has(sym)) all.set(sym, 0);  // coefficient is zero anyway
-    }
-    const std::int64_t v = sub.eval(all);
+    const std::int64_t v = eval_outside_loop_vars();
     return ConcreteInterval{v, v, 1};
   }
   // sub = coeff * var + rest. Evaluate rest with var := 0.
   ConcreteInterval r;
   for (const auto& [sym, iv] : ranges)
     if (sym == *var) r = iv.normalized();
-  Bindings all = b;
-  for (const auto& [sym, iv] : ranges) {
-    (void)iv;
-    all.set(sym, 0);
-  }
-  const std::int64_t rest = sub.eval(all);
+  const std::int64_t rest = eval_outside_loop_vars();
   if (r.empty()) return {0, -1, 1};
   const std::int64_t a = coeff * r.lo + rest;
   const std::int64_t z = coeff * r.hi + rest;
@@ -85,9 +93,7 @@ ConcreteInterval local_iters(const ParallelLoop& loop, const Program& prog,
       // home indices map back to a strided iteration interval.
       const std::int64_t c = loop.home_sub.coeff(loop.dist.sym);
       FGDSM_ASSERT_MSG(c == 1, "ON HOME subscript must be <distvar> + const");
-      Bindings zero = b;
-      zero.set(loop.dist.sym, 0);
-      const std::int64_t off = loop.home_sub.eval(zero);
+      const std::int64_t off = eval_with(loop.home_sub, b, loop.dist.sym, 0);
       ConcreteInterval owned =
           owned_interval(home.dist, p, ext.back(), np);
       if (owned.empty()) return {0, -1, 1};
@@ -121,11 +127,12 @@ std::vector<std::pair<std::string, ConcreteInterval>> var_ranges(
         "free loop bounds of " << fv.sym
                                << " reference the distributed variable; "
                                   "whole-loop sections must be rectangular");
-    Bindings all = b;
-    all.set(loop.dist.sym, dist_range.lo);  // only used when allowed
+    // dist.sym's binding is only used when dist-dependent bounds are allowed
     ranges.emplace_back(
-        fv.sym, ConcreteInterval{fv.lo.eval(all), fv.hi.eval(all), 1}
-                    .normalized());
+        fv.sym,
+        ConcreteInterval{eval_with(fv.lo, b, loop.dist.sym, dist_range.lo),
+                         eval_with(fv.hi, b, loop.dist.sym, dist_range.lo), 1}
+            .normalized());
   }
   return ranges;
 }

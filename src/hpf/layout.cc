@@ -8,7 +8,13 @@ namespace fgdsm::hpf {
 std::vector<Run> linearize(const ArrayLayout& layout,
                            const ConcreteSection& s) {
   std::vector<Run> runs;
-  if (s.empty()) return runs;
+  linearize_into(layout, s, &runs);
+  return runs;
+}
+
+void linearize_into(const ArrayLayout& layout, const ConcreteSection& s,
+                    std::vector<Run>* out) {
+  if (s.empty()) return;
   FGDSM_ASSERT(s.dims.size() == layout.extents.size());
   FGDSM_ASSERT_MSG(s.dims[0].normalized().stride == 1 ||
                        s.dims[0].count() == 1,
@@ -18,27 +24,45 @@ std::vector<Run> linearize(const ArrayLayout& layout,
   const std::int64_t row_count = s.dims[0].count();
   const std::size_t run_len = static_cast<std::size_t>(row_count) * layout.elem;
 
-  std::vector<std::int64_t> idx(s.dims.size(), 0);
-  std::function<void(std::size_t)> rec = [&](std::size_t d) {
-    if (d == 0) {
-      idx[0] = row_lo;
-      const GAddr a = layout.addr_of(idx);
-      if (!runs.empty() &&
-          runs.back().addr + runs.back().len == a) {
-        runs.back().len += run_len;  // merge contiguous columns
-      } else {
-        runs.push_back(Run{a, run_len});
-      }
-      return;
+  // Odometer over the outer dimensions (dimension 1 varies fastest —
+  // column-major, same visit order as the recursive formulation). Fixed
+  // local arrays keep this allocation-free; it runs per chunk.
+  constexpr std::size_t kMaxRank = 8;
+  const std::size_t nd = s.dims.size();
+  FGDSM_ASSERT_MSG(nd <= kMaxRank, "array rank > " << kMaxRank);
+  ConcreteInterval iv[kMaxRank];
+  std::int64_t val[kMaxRank];
+  std::int64_t mult[kMaxRank];
+  std::int64_t m = 1;
+  for (std::size_t d = 0; d < nd; ++d) {
+    mult[d] = m;
+    m *= layout.extents[d];
+    if (d > 0) {
+      iv[d] = s.dims[d].normalized();
+      val[d] = iv[d].lo;
     }
-    const ConcreteInterval iv = s.dims[d].normalized();
-    for (std::int64_t v = iv.lo; v <= iv.hi; v += iv.stride) {
-      idx[d] = v;
-      rec(d - 1);
+  }
+  // Address of the current run from the odometer state.
+  const std::size_t first_new = out->size();
+  for (;;) {
+    std::int64_t lin = row_lo * mult[0];
+    for (std::size_t d = 1; d < nd; ++d) lin += val[d] * mult[d];
+    const GAddr a = layout.base + static_cast<GAddr>(lin) * layout.elem;
+    if (out->size() > first_new &&
+        out->back().addr + out->back().len == a) {
+      out->back().len += run_len;  // merge contiguous columns
+    } else {
+      out->push_back(Run{a, run_len});
     }
-  };
-  rec(s.dims.size() - 1);
-  return runs;
+    std::size_t d = 1;
+    while (d < nd) {
+      val[d] += iv[d].stride;
+      if (val[d] <= iv[d].hi) break;
+      val[d] = iv[d].lo;
+      ++d;
+    }
+    if (d >= nd) break;
+  }
 }
 
 std::size_t run_bytes(const std::vector<Run>& runs) {

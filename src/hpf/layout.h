@@ -60,6 +60,12 @@ struct ArrayLayout {
 std::vector<Run> linearize(const ArrayLayout& layout,
                            const ConcreteSection& s);
 
+// Same, appending to *out without clearing it — the allocation-free form
+// for per-chunk callers that reuse a scratch vector (merging never reaches
+// across the append boundary: the first appended run is always pushed).
+void linearize_into(const ArrayLayout& layout, const ConcreteSection& s,
+                    std::vector<Run>* out);
+
 // Total bytes covered by runs.
 std::size_t run_bytes(const std::vector<Run>& runs);
 

@@ -53,6 +53,8 @@ class AffineExpr {
     FGDSM_ASSERT(is_constant());
     return c0_;
   }
+  // The constant part regardless of symbolic terms (overlay evaluation).
+  std::int64_t constant_term() const { return c0_; }
   std::int64_t coeff(const std::string& s) const {
     auto it = terms_.find(s);
     return it == terms_.end() ? 0 : it->second;
@@ -110,6 +112,16 @@ class AffineExpr {
 
 inline AffineExpr operator+(std::int64_t k, const AffineExpr& e) {
   return AffineExpr(k) + e;
+}
+
+// Overlay evaluation: e.eval(b) with `sym` bound to `val`, without copying
+// the bindings map. Equivalent to {Bindings t = b; t.set(sym, val);
+// e.eval(t)} — the copy-free form for per-chunk hot paths.
+inline std::int64_t eval_with(const AffineExpr& e, const Bindings& b,
+                              const std::string& sym, std::int64_t val) {
+  std::int64_t v = e.constant_term();
+  for (const auto& [s, c] : e.terms()) v += c * (s == sym ? val : b.get(s));
+  return v;
 }
 
 }  // namespace fgdsm::hpf

@@ -71,7 +71,7 @@ void MpRuntime::send(Node& node, sim::Task& task, GAddr addr,
     m.type = static_cast<std::uint16_t>(tempest::MsgType::kMpData);
     m.addr = addr + off;
     m.arg[1] = epoch;
-    m.payload.resize(chunk);
+    m.payload = node.cluster().payload_pool().acquire(chunk);
     std::memcpy(m.payload.data(), node.mem(addr + off), chunk);
     node.send(task, std::move(m));
     off += chunk;

@@ -59,29 +59,48 @@ std::uint64_t Stache::full_mask() const {
   return w >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
 }
 
+Stache::PendingUpgrade* Stache::find_upgrade(NodeState& st, BlockId b) {
+  for (PendingUpgrade& up : st.upgrade)
+    if (up.b == b) return &up;
+  return nullptr;
+}
+
+const Stache::PendingUpgrade* Stache::find_upgrade(const NodeState& st,
+                                                   BlockId b) {
+  for (const PendingUpgrade& up : st.upgrade)
+    if (up.b == b) return &up;
+  return nullptr;
+}
+
 std::uint64_t Stache::pending_mask_of(int node, BlockId b) const {
-  const auto& up = nodes_[static_cast<std::size_t>(node)].upgrade;
-  auto it = up.find(b);
-  return it == up.end() ? 0 : it->second.mask;
+  const PendingUpgrade* up =
+      find_upgrade(nodes_[static_cast<std::size_t>(node)], b);
+  return up == nullptr ? 0 : up->mask;
 }
 
 void Stache::reset_pending_mask(int node, BlockId b) {
-  auto& up = nodes_[static_cast<std::size_t>(node)].upgrade;
-  auto it = up.find(b);
-  if (it != up.end()) it->second.mask = 0;
+  if (PendingUpgrade* up =
+          find_upgrade(nodes_[static_cast<std::size_t>(node)], b))
+    up->mask = 0;
 }
 
 Stache::DirEntry& Stache::dir(Node& home, BlockId b) {
-  return dir_[static_cast<std::size_t>(home.id())][b];
+  auto& d = dir_[static_cast<std::size_t>(home.id())];
+  const std::size_t idx = dir_index(b);
+  if (idx >= d.size()) d.resize(idx + 1);
+  return d[idx];
+}
+
+const Stache::DirEntry* Stache::dir_find(int home, BlockId b) const {
+  const auto& d = dir_[static_cast<std::size_t>(home)];
+  const std::size_t idx = dir_index(b);
+  return idx < d.size() ? &d[idx] : nullptr;
 }
 
 Stache::DirSnapshot Stache::dir_snapshot(BlockId b) const {
-  const auto& m = dir_[static_cast<std::size_t>(
-      cluster_.home_of(b))];
-  auto it = m.find(b);
-  if (it == m.end()) return DirSnapshot{};
-  return DirSnapshot{it->second.state, it->second.sharers, it->second.owner,
-                     it->second.busy};
+  const DirEntry* e = dir_find(cluster_.home_of(b), b);
+  if (e == nullptr) return DirSnapshot{};
+  return DirSnapshot{e->state, e->sharers, e->owner, e->busy};
 }
 
 // ---------------------------------------------------------------------------
@@ -104,7 +123,12 @@ void Stache::issue_upgrade(Node& node, sim::Task& task, BlockId b) {
   FGDSM_LOG("stache", "t=" << task.now() << " upgrade@" << node.id()
                            << " blk=" << b);
   node.set_access(b, Access::kReadWrite);  // eager: do not wait for grant
-  ++st.upgrade[b].reqs;
+  PendingUpgrade* up = find_upgrade(st, b);
+  if (up == nullptr) {
+    st.upgrade.push_back(PendingUpgrade{b, 0, 0});
+    up = &st.upgrade.back();
+  }
+  ++up->reqs;
   ++st.outstanding;
   sim::Message m;
   m.dst = cluster_.home_of(b);
@@ -144,8 +168,8 @@ void Stache::note_writes(Node& node, GAddr addr, std::size_t len) {
   const BlockId first = cluster_.block_of(addr);
   const BlockId last = cluster_.block_of(addr + len - 1);
   for (BlockId b = first; b <= last; ++b) {
-    auto it = st.upgrade.find(b);
-    if (it == st.upgrade.end()) continue;
+    PendingUpgrade* up = find_upgrade(st, b);
+    if (up == nullptr) continue;
     FGDSM_LOG("stache", "note_writes@" << node.id() << " blk=" << b
                                        << " addr=" << addr << " len=" << len);
     const GAddr bstart = cluster_.block_addr(b);
@@ -155,7 +179,7 @@ void Stache::note_writes(Node& node, GAddr addr, std::size_t len) {
     const std::size_t w0 = (lo - bstart) / 8;
     const std::size_t w1 = (hi - 1 - bstart) / 8;
     for (std::size_t w = w0; w <= w1; ++w)
-      it->second.mask |= std::uint64_t{1} << w;
+      up->mask |= std::uint64_t{1} << w;
   }
 }
 
@@ -172,7 +196,7 @@ void Stache::send_block_msg(Node& from, HandlerClock& clk, int dst,
   m.addr = cluster_.block_addr(b);
   m.arg[0] = static_cast<std::int64_t>(mask);
   if (with_data) {
-    m.payload.resize(cluster_.block_size());
+    m.payload = cluster_.payload_pool().acquire(cluster_.block_size());
     std::memcpy(m.payload.data(), from.mem(m.addr), cluster_.block_size());
     clk.charge(cluster_.costs().copy_time(
         static_cast<std::int64_t>(cluster_.block_size())));
@@ -186,7 +210,7 @@ void Stache::h_read_req(Node& self, sim::Message& m, HandlerClock& clk) {
   DirEntry& e = dir(self, b);
   clk.charge(cluster_.costs().dir_lookup_cost);
   if (e.busy) {
-    e.queue.push_back({MsgType::kReadReq, m.src});
+    e.queue_push({MsgType::kReadReq, m.src});
     return;
   }
   service(self, MsgType::kReadReq, m.src, b, clk);
@@ -198,7 +222,7 @@ void Stache::h_write_req(Node& self, sim::Message& m, HandlerClock& clk) {
   DirEntry& e = dir(self, b);
   clk.charge(cluster_.costs().dir_lookup_cost);
   if (e.busy) {
-    e.queue.push_back({MsgType::kWriteReq, m.src});
+    e.queue_push({MsgType::kWriteReq, m.src});
     return;
   }
   service(self, MsgType::kWriteReq, m.src, b, clk);
@@ -211,7 +235,7 @@ void Stache::h_fetch_excl_req(Node& self, sim::Message& m,
   DirEntry& e = dir(self, b);
   clk.charge(cluster_.costs().dir_lookup_cost);
   if (e.busy) {
-    e.queue.push_back({MsgType::kFetchExclReq, m.src});
+    e.queue_push({MsgType::kFetchExclReq, m.src});
     return;
   }
   service(self, MsgType::kFetchExclReq, m.src, b, clk);
@@ -460,13 +484,12 @@ void Stache::h_inval(Node& self, sim::Message& m, HandlerClock& clk) {
   NodeState& st = nodes_[static_cast<std::size_t>(self.id())];
   ++self.stats.invalidations_received;
   std::uint64_t mask = 0;
-  auto it = st.upgrade.find(b);
-  if (it != st.upgrade.end()) {
+  if (PendingUpgrade* up = find_upgrade(st, b)) {
     // Eager upgrade in flight: ship the words we wrote since the last fetch
     // so they are not lost, and reset the mask — the in-flight requests
-    // still get their grant/deny answers, counted by it->second.reqs.
-    mask = it->second.mask;
-    it->second.mask = 0;
+    // still get their grant/deny answers, counted by up->reqs.
+    mask = up->mask;
+    up->mask = 0;
   } else if (self.access(b) == Access::kReadWrite) {
     // Granted exclusive copy: complete, full authority.
     mask = full_mask();
@@ -531,9 +554,8 @@ void Stache::finish_txn_if_done(Node& home, BlockId b, DirEntry& e,
 
 void Stache::pump_queue(Node& home, BlockId b, HandlerClock& clk) {
   DirEntry& e = dir(home, b);
-  while (!e.busy && !e.queue.empty()) {
-    const QueuedReq req = e.queue.front();
-    e.queue.pop_front();
+  while (!e.busy && !e.queue_empty()) {
+    const QueuedReq req = e.queue_pop();
     clk.charge(cluster_.costs().dir_lookup_cost);
     service(home, req.type, req.requester, b, clk);
   }
@@ -542,26 +564,29 @@ void Stache::pump_queue(Node& home, BlockId b, HandlerClock& clk) {
 void Stache::h_write_grant(Node& self, sim::Message& m, HandlerClock& clk) {
   const BlockId b = cluster_.block_of(m.addr);
   NodeState& st = nodes_[static_cast<std::size_t>(self.id())];
-  auto it = st.upgrade.find(b);
-  FGDSM_ASSERT_MSG(it != st.upgrade.end(),
+  PendingUpgrade* up = find_upgrade(st, b);
+  FGDSM_ASSERT_MSG(up != nullptr,
                    "grant/deny without in-flight upgrade (block " << b
                                                                   << ")");
   const bool denied = m.arg[1] != 0;
   FGDSM_LOG("stache", "t=" << clk.t << " grant@" << self.id() << " blk=" << b
                            << " denied=" << denied << " fixup=" << m.arg[0]
-                           << " mymask=" << it->second.mask << " reqs="
-                           << it->second.reqs);
+                           << " mymask=" << up->mask << " reqs="
+                           << up->reqs);
   if (!denied) {
     const std::uint64_t fixup = static_cast<std::uint64_t>(m.arg[0]);
     if (fixup != 0) {
       // Apply every forwarded word we did not write ourselves.
-      apply_masked_words(self, b, fixup & ~it->second.mask, m.payload);
+      apply_masked_words(self, b, fixup & ~up->mask, m.payload);
       clk.charge(cluster_.costs().copy_time(
           static_cast<std::int64_t>(cluster_.block_size())));
     }
     FGDSM_DCHECK(self.access(b) == Access::kReadWrite);
   }
-  if (--it->second.reqs == 0) st.upgrade.erase(it);
+  if (--up->reqs == 0) {
+    *up = st.upgrade.back();  // swap-erase; order is irrelevant
+    st.upgrade.pop_back();
+  }
   FGDSM_DCHECK(st.outstanding > 0);
   --st.outstanding;
   st.drain_sem.post(clk.t);
@@ -667,7 +692,7 @@ void Stache::send_blocks(Node& node, sim::Task& task, GAddr addr,
       m.type = static_cast<std::uint16_t>(MsgType::kDirectData);
       m.addr = addr + off;
       m.arg[0] = static_cast<std::int64_t>(chunk / cluster_.block_size());
-      m.payload.resize(chunk);
+      m.payload = cluster_.payload_pool().acquire(chunk);
       std::memcpy(m.payload.data(), node.mem(addr + off), chunk);
       node.send(task, std::move(m));
       ++node.stats.ccc_messages_sent;
@@ -701,7 +726,7 @@ void Stache::ccc_flush(Node& node, sim::Task& task, GAddr addr,
     m.type = static_cast<std::uint16_t>(MsgType::kCccFlush);
     m.addr = addr + off;
     m.arg[0] = static_cast<std::int64_t>(chunk / cluster_.block_size());
-    m.payload.resize(chunk);
+    m.payload = cluster_.payload_pool().acquire(chunk);
     std::memcpy(m.payload.data(), node.mem(addr + off), chunk);
     node.send(task, std::move(m));
     ++node.stats.ccc_messages_sent;
@@ -750,9 +775,9 @@ std::vector<std::string> Stache::find_violations() const {
          << " transactions outstanding at quiescent point";
       report(os.str());
     }
-    for (const auto& [b, up] : st.upgrade) {
+    for (const PendingUpgrade& up : st.upgrade) {
       std::ostringstream os;
-      os << "node " << n << " block " << b << ": undrained eager upgrade ("
+      os << "node " << n << " block " << up.b << ": undrained eager upgrade ("
          << up.reqs << " reqs, dirty mask 0x" << std::hex << up.mask << ")";
       report(os.str());
     }
@@ -760,12 +785,15 @@ std::vector<std::string> Stache::find_violations() const {
 
   // Directory engine drained: no busy entries, no queued requests.
   for (int h = 0; h < np; ++h) {
-    for (const auto& [b, e] : dir_[static_cast<std::size_t>(h)]) {
-      if (e.busy || !e.queue.empty()) {
+    const auto& d = dir_[static_cast<std::size_t>(h)];
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const DirEntry& e = d[i];
+      if (e.busy || !e.queue_empty()) {
         std::ostringstream os;
-        os << "home " << h << " block " << b << ": directory entry "
-           << (e.busy ? "busy" : "") << (e.busy && !e.queue.empty() ? ", " : "")
-           << (!e.queue.empty() ? "has queued requests" : "")
+        os << "home " << h << " block " << dir_block(h, i)
+           << ": directory entry " << (e.busy ? "busy" : "")
+           << (e.busy && !e.queue_empty() ? ", " : "")
+           << (!e.queue_empty() ? "has queued requests" : "")
            << " at quiescent point";
         report(os.str());
       }
@@ -779,12 +807,10 @@ std::vector<std::string> Stache::find_violations() const {
   const std::size_t nblocks = cluster_.num_blocks();
   for (BlockId b = 0; b < nblocks; ++b) {
     const int home = cluster_.home_of(b);
-    const auto& dmap = dir_[static_cast<std::size_t>(home)];
-    const auto it = dmap.find(b);
-    const DirState state = it == dmap.end() ? DirState::kIdle
-                                            : it->second.state;
-    const std::uint64_t sharers = it == dmap.end() ? 0 : it->second.sharers;
-    const int owner = it == dmap.end() ? -1 : it->second.owner;
+    const DirEntry* e = dir_find(home, b);
+    const DirState state = e == nullptr ? DirState::kIdle : e->state;
+    const std::uint64_t sharers = e == nullptr ? 0 : e->sharers;
+    const int owner = e == nullptr ? -1 : e->owner;
     for (int n = 0; n < np; ++n) {
       const Access a = cluster_.node(n).access(b);
       const bool opened =

@@ -48,9 +48,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -162,7 +160,21 @@ class Stache : public tempest::Protocol {
     int owner = -1;
     bool busy = false;
     Txn txn;
-    std::deque<QueuedReq> queue;
+    // FIFO of requests deferred while busy: a vector drained by index (the
+    // backing store is reused across transactions, so steady-state queueing
+    // allocates nothing).
+    std::vector<QueuedReq> queue;
+    std::uint32_t queue_head = 0;
+    bool queue_empty() const { return queue_head == queue.size(); }
+    void queue_push(QueuedReq r) { queue.push_back(r); }
+    QueuedReq queue_pop() {
+      QueuedReq r = queue[queue_head++];
+      if (queue_empty()) {
+        queue.clear();
+        queue_head = 0;
+      }
+      return r;
+    }
   };
   // In-flight eager-upgrade state for one block at one node. A node can have
   // more than one WriteReq outstanding for the same block: if its copy is
@@ -172,6 +184,7 @@ class Stache : public tempest::Protocol {
   // the last fetch/invalidation and resets when the copy is invalidated
   // (those words travel with the invalidation ack).
   struct PendingUpgrade {
+    BlockId b = 0;
     int reqs = 0;
     std::uint64_t mask = 0;
   };
@@ -179,7 +192,10 @@ class Stache : public tempest::Protocol {
     int outstanding = 0;
     sim::Semaphore miss_sem;   // read-miss completion (one at a time)
     sim::Semaphore drain_sem;  // one post per completed transaction
-    std::unordered_map<BlockId, PendingUpgrade> upgrade;
+    // In-flight eager upgrades, linear-scanned: a node has at most a handful
+    // live at once (bounded by its outstanding transactions), so a flat
+    // vector beats a hash map on every note_writes probe.
+    std::vector<PendingUpgrade> upgrade;
   };
 
   // Handler bodies (run at the node owning the directory / the copy).
@@ -197,11 +213,33 @@ class Stache : public tempest::Protocol {
   void h_ccc_flush(Node& self, sim::Message& m, HandlerClock& clk);
 
   // Home-side helpers.
+  static PendingUpgrade* find_upgrade(NodeState& st, BlockId b);
+  static const PendingUpgrade* find_upgrade(const NodeState& st, BlockId b);
   std::uint64_t pending_mask_of(int node, BlockId b) const;
   void reset_pending_mask(int node, BlockId b);
   void apply_masked_words(Node& dst, BlockId b, std::uint64_t mask,
                           const std::vector<std::byte>& payload);
+  // Dense per-home directory indexing: pages are assigned to homes
+  // round-robin, so the blocks homed at one node form a regular lattice.
+  // dir_index maps a global BlockId to its slot in that home's flat array
+  // and dir_block inverts it (for whole-directory sweeps).
+  std::size_t blocks_per_page() const {
+    return cluster_.config().page_size / cluster_.block_size();
+  }
+  std::size_t dir_index(BlockId b) const {
+    const std::size_t bpp = blocks_per_page();
+    return (b / bpp) / static_cast<std::size_t>(cluster_.nnodes()) * bpp +
+           b % bpp;
+  }
+  BlockId dir_block(int home, std::size_t idx) const {
+    const std::size_t bpp = blocks_per_page();
+    return (idx / bpp * static_cast<std::size_t>(cluster_.nnodes()) +
+            static_cast<std::size_t>(home)) *
+               bpp +
+           idx % bpp;
+  }
   DirEntry& dir(Node& home, BlockId b);
+  const DirEntry* dir_find(int home, BlockId b) const;
   void service(Node& home, MsgType type, int requester, BlockId b,
                HandlerClock& clk);
   void finish_txn_if_done(Node& home, BlockId b, DirEntry& e,
@@ -215,8 +253,10 @@ class Stache : public tempest::Protocol {
   std::uint64_t bit(int n) const { return std::uint64_t{1} << n; }
 
   tempest::Cluster& cluster_;
-  // dir_[home][block] — only blocks that ever saw a remote request.
-  std::vector<std::unordered_map<BlockId, DirEntry>> dir_;
+  // dir_[home][dir_index(block)] — flat per-home arrays over the blocks
+  // homed there, grown lazily to the highest block that ever saw a remote
+  // request. Directory lookups on the request hot path are one indexed load.
+  std::vector<std::vector<DirEntry>> dir_;
   std::vector<NodeState> nodes_;
   // Per node: blocks deliberately opened by implicit_writable (compiler-
   // contracted incoherence the directory does not know about). Maintained

@@ -1,11 +1,18 @@
 #include "src/sim/channel.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
 #include "src/util/assert.h"
 
 namespace fgdsm::sim {
+
+namespace {
+// Initial retained-copy ring per link; doubles if the unacked window ever
+// outgrows it (deep reordering or a long ack outage).
+constexpr std::size_t kInitialRing = 16;
+}  // namespace
 
 ReliableChannel::ReliableChannel(Engine& engine, Network& net, int nnodes,
                                  ChannelConfig cfg)
@@ -29,6 +36,59 @@ void ReliableChannel::attach(int node, Network::DeliverFn deliver) {
   });
 }
 
+void ReliableChannel::set_initial_seq(std::uint64_t seq) {
+  for (TxLink& t : tx_) {
+    FGDSM_ASSERT_MSG(t.next_seq == 0 && t.live_count == 0,
+                     "set_initial_seq after traffic started");
+    t.next_seq = seq;
+    t.acked = seq;
+    t.win_base = seq + 1;
+  }
+  for (RxLink& r : rx_) {
+    r.cum = seq;
+    r.last_ack_sent = seq;
+  }
+}
+
+ReliableChannel::TxSlot* ReliableChannel::find_slot(TxLink& t,
+                                                    std::uint64_t seq) {
+  if (seq < t.win_base || seq > t.next_seq || t.ring.empty()) return nullptr;
+  TxSlot& s = t.ring[seq & (t.ring.size() - 1)];
+  if (!s.live) return nullptr;
+  FGDSM_DCHECK(s.seq == seq);
+  return &s;
+}
+
+void ReliableChannel::retain(TxLink& t, const Message& msg) {
+  if (t.ring.empty()) t.ring.resize(kInitialRing);
+  // Grow (and re-place live slots) if the window no longer fits: with a
+  // power-of-two ring and consecutive seqs, each in-window seq maps to a
+  // distinct slot iff window <= ring size.
+  if (msg.ch_seq - t.win_base + 1 > t.ring.size()) {
+    std::vector<TxSlot> bigger(t.ring.size() * 2);
+    for (TxSlot& s : t.ring) {
+      if (!s.live) continue;
+      TxSlot& d = bigger[s.seq & (bigger.size() - 1)];
+      FGDSM_DCHECK(!d.live);
+      d = std::move(s);
+    }
+    t.ring = std::move(bigger);
+  }
+  TxSlot& s = t.ring[msg.ch_seq & (t.ring.size() - 1)];
+  FGDSM_DCHECK(!s.live);
+  s.msg = msg;
+  s.seq = msg.ch_seq;
+  s.live = true;
+  ++t.live_count;
+}
+
+void ReliableChannel::release_slot(TxLink& t, TxSlot& s) {
+  s.msg.payload.clear();
+  s.msg.payload.shrink_to_fit();
+  s.live = false;
+  --t.live_count;
+}
+
 Time ReliableChannel::send(Time earliest, Message msg) {
   if (msg.dst == msg.src) return net_.send(earliest, std::move(msg));
 
@@ -37,28 +97,28 @@ Time ReliableChannel::send(Time earliest, Message msg) {
   msg.ch_seq = ++t.next_seq;
   msg.ch_ack = reverse.cum;  // piggyback: "I've received through cum"
   reverse.last_ack_sent = reverse.cum;
-  t.unacked.emplace(msg.ch_seq, msg);  // retained for retransmission
+  retain(t, msg);  // retained for retransmission
   arm_retransmit(msg.src, msg.dst, msg.ch_seq, /*attempt=*/0);
   return net_.send(earliest, std::move(msg));
 }
 
-void ReliableChannel::arm_retransmit(int src, int dst, std::uint32_t seq,
+void ReliableChannel::arm_retransmit(int src, int dst, std::uint64_t seq,
                                      int attempt) {
   const Time base = engine_.now();
   const Time backoff = cfg_.rto_ns << attempt;  // exponential
   engine_.schedule(base + backoff, [this, src, dst, seq, attempt] {
     TxLink& t = tx_[link(src, dst)];
-    auto it = t.unacked.find(seq);
-    if (it == t.unacked.end()) return;  // acked meanwhile — timer is moot
+    TxSlot* slot = find_slot(t, seq);
+    if (slot == nullptr) return;  // acked meanwhile — timer is moot
     if (!engine_.any_task_unfinished()) {
       // The program completed; only the final ack is missing. Not a stall —
       // stop retrying so the event queue can drain.
-      t.unacked.erase(it);
+      release_slot(t, *slot);
       return;
     }
     if (attempt >= cfg_.max_retries)
-      fail_retries(src, dst, seq, it->second, attempt);
-    Message copy = it->second;
+      fail_retries(src, dst, seq, slot->msg, attempt);
+    Message copy = slot->msg;
     RxLink& reverse = rx_[link(dst, src)];
     copy.ch_ack = reverse.cum;  // refresh the piggyback
     reverse.last_ack_sent = reverse.cum;
@@ -68,7 +128,7 @@ void ReliableChannel::arm_retransmit(int src, int dst, std::uint32_t seq,
   });
 }
 
-void ReliableChannel::fail_retries(int src, int dst, std::uint32_t seq,
+void ReliableChannel::fail_retries(int src, int dst, std::uint64_t seq,
                                    const Message& m, int attempts) {
   std::ostringstream os;
   os << "reliable channel: retry budget exhausted on link " << src << "->"
@@ -78,11 +138,15 @@ void ReliableChannel::fail_retries(int src, int dst, std::uint32_t seq,
   engine_.fail_stall(os.str());
 }
 
-void ReliableChannel::process_ack(int tx_src, int tx_dst, std::uint32_t ack) {
+void ReliableChannel::process_ack(int tx_src, int tx_dst, std::uint64_t ack) {
   TxLink& t = tx_[link(tx_src, tx_dst)];
   if (ack <= t.acked) return;
   t.acked = ack;
-  t.unacked.erase(t.unacked.begin(), t.unacked.upper_bound(ack));
+  // Cumulative: every retained seq through `ack` is now delivered.
+  for (std::uint64_t s = t.win_base; s <= ack; ++s) {
+    if (TxSlot* slot = find_slot(t, s)) release_slot(t, *slot);
+  }
+  t.win_base = std::max(t.win_base, ack + 1);
 }
 
 void ReliableChannel::on_receive(int node, Message&& m, Time arrival) {
@@ -116,18 +180,27 @@ void ReliableChannel::on_receive(int node, Message&& m, Time arrival) {
     deliver_[node](std::move(m), arrival);
     // Drain any buffered successors that are now in order. Their own wire
     // arrival was earlier; they become *processable* only now.
-    for (auto it = rx.ooo.begin();
-         it != rx.ooo.end() && it->first == rx.cum + 1;
-         it = rx.ooo.erase(it)) {
-      rx.cum = it->first;
-      deliver_[node](std::move(it->second), arrival);
+    std::size_t drained = 0;
+    while (drained < rx.ooo.size() &&
+           rx.ooo[drained].ch_seq == rx.cum + 1) {
+      rx.cum = rx.ooo[drained].ch_seq;
+      deliver_[node](std::move(rx.ooo[drained]), arrival);
+      ++drained;
     }
+    if (drained > 0)
+      rx.ooo.erase(rx.ooo.begin(),
+                   rx.ooo.begin() + static_cast<std::ptrdiff_t>(drained));
   } else {
-    // Gap: hold until the predecessors arrive (or are retransmitted).
-    auto [it, inserted] = rx.ooo.emplace(m.ch_seq, std::move(m));
-    (void)it;
-    if (!inserted)
+    // Gap: hold until the predecessors arrive (or are retransmitted). The
+    // buffer is sorted by ch_seq; insert in place, dropping duplicates.
+    auto it = std::lower_bound(
+        rx.ooo.begin(), rx.ooo.end(), m.ch_seq,
+        [](const Message& a, std::uint64_t s) { return a.ch_seq < s; });
+    if (it != rx.ooo.end() && it->ch_seq == m.ch_seq) {
       if (util::NodeStats* st = stats_for(node)) ++st->dup_suppressed;
+    } else {
+      rx.ooo.insert(it, std::move(m));
+    }
   }
   schedule_pure_ack(node, src);
 }
@@ -159,13 +232,19 @@ std::string ReliableChannel::describe_state() const {
     for (int d = 0; d < nnodes_; ++d) {
       const TxLink& t = tx_[link(s, d)];
       const RxLink& r = rx_[link(s, d)];
-      if (t.unacked.empty() && r.ooo.empty()) continue;
+      if (t.live_count == 0 && r.ooo.empty()) continue;
       os << "  link " << s << "->" << d << ":";
-      if (!t.unacked.empty()) {
-        const auto& oldest = *t.unacked.begin();
-        os << " " << t.unacked.size() << " unacked (oldest seq "
-           << oldest.first << " " << type_name(oldest.second.type)
-           << ", acked through " << t.acked << ")";
+      if (t.live_count > 0) {
+        const TxSlot* oldest = nullptr;
+        for (std::uint64_t q = t.win_base; q <= t.next_seq && !oldest; ++q) {
+          const TxSlot& cand = t.ring[q & (t.ring.size() - 1)];
+          if (cand.live && cand.seq == q) oldest = &cand;
+        }
+        os << " " << t.live_count << " unacked";
+        if (oldest != nullptr)
+          os << " (oldest seq " << oldest->seq << " "
+             << type_name(oldest->msg.type) << ", acked through " << t.acked
+             << ")";
       }
       if (!r.ooo.empty())
         os << " " << r.ooo.size() << " buffered out-of-order at receiver"

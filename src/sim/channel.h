@@ -15,17 +15,25 @@
 //   - the receiver delivers in sequence order, buffers out-of-order arrivals,
 //     and suppresses duplicates (retransmitted or fault-duplicated copies).
 //
+// Bookkeeping is flat: the sender's retained copies live in a power-of-two
+// ring indexed by sequence number (consecutive seqs make the sliding window
+// a natural ring; the ring doubles on the rare occasion the window outgrows
+// it), and the receiver's out-of-order buffer is a small sorted vector —
+// no node-per-message containers on the retransmission path. Sequence
+// numbers are 64-bit end to end, so they never wrap within any realistic
+// soak (the earlier 32-bit fields, compared with plain </>, misordered after
+// 2^32 messages on one link).
+//
 // The channel exists only in chaos mode (tempest::Cluster creates it iff
 // --faults is given); a fault-free configuration keeps the original direct
 // Network::send path, so reliability costs nothing when unused. Determinism:
-// all per-link state lives in plain arrays/maps keyed by (src,dst) and all
+// all per-link state lives in plain arrays keyed by (src,dst) and all
 // timers go through the engine's (time, seq) order, so runs are bit-identical
 // for a given seed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -70,17 +78,30 @@ class ReliableChannel {
   // One line per link with unacked traffic — appended to stall reports.
   std::string describe_state() const;
 
+  // Test hook: make every link behave as if it had already carried `seq`
+  // messages in each direction (all acked). Used by the wrap regression test
+  // to start sequencing near former overflow points (e.g. UINT32_MAX - k).
+  // Must be called before any traffic flows.
+  void set_initial_seq(std::uint64_t seq);
+
  private:
+  struct TxSlot {
+    Message msg;
+    std::uint64_t seq = 0;
+    bool live = false;  // retained and awaiting ack
+  };
   struct TxLink {
-    std::uint32_t next_seq = 0;            // last sequence number assigned
-    std::uint32_t acked = 0;               // highest cumulatively acked seq
-    std::map<std::uint32_t, Message> unacked;  // seq -> retained copy
+    std::uint64_t next_seq = 0;  // last sequence number assigned
+    std::uint64_t acked = 0;     // highest cumulatively acked seq
+    std::uint64_t win_base = 1;  // smallest seq that may still be live
+    std::size_t live_count = 0;
+    std::vector<TxSlot> ring;  // power-of-two; slot for seq s = s & mask
   };
   struct RxLink {
-    std::uint32_t cum = 0;                 // delivered in order through cum
-    std::uint32_t last_ack_sent = 0;       // newest cum the peer has seen
+    std::uint64_t cum = 0;            // delivered in order through cum
+    std::uint64_t last_ack_sent = 0;  // newest cum the peer has seen
     bool ack_timer_armed = false;
-    std::map<std::uint32_t, Message> ooo;  // buffered out-of-order arrivals
+    std::vector<Message> ooo;  // out-of-order arrivals, sorted by ch_seq
   };
 
   std::size_t link(int src, int dst) const {
@@ -95,21 +116,26 @@ class ReliableChannel {
     return type_name_ ? type_name_(t) : "?";
   }
 
+  // Slot lookup for a seq that may already have been acked/cleaned; null if
+  // it is no longer retained.
+  TxSlot* find_slot(TxLink& t, std::uint64_t seq);
+  void retain(TxLink& t, const Message& msg);
+  void release_slot(TxLink& t, TxSlot& s);
+
   void on_receive(int node, Message&& m, Time arrival);
-  void process_ack(int src, int dst, std::uint32_t ack);
-  void deliver_in_order(int node, RxLink& rx, Message&& m, Time arrival);
-  void arm_retransmit(int src, int dst, std::uint32_t seq, int attempt);
+  void process_ack(int src, int dst, std::uint64_t ack);
+  void arm_retransmit(int src, int dst, std::uint64_t seq, int attempt);
   void schedule_pure_ack(int src, int dst);
-  [[noreturn]] void fail_retries(int src, int dst, std::uint32_t seq,
+  [[noreturn]] void fail_retries(int src, int dst, std::uint64_t seq,
                                  const Message& m, int attempts);
 
   Engine& engine_;
   Network& net_;
   int nnodes_;
   ChannelConfig cfg_;
-  std::vector<TxLink> tx_;                    // nnodes^2, sender side
-  std::vector<RxLink> rx_;                    // nnodes^2, receiver side
-  std::vector<Network::DeliverFn> deliver_;   // app sinks, per node
+  std::vector<TxLink> tx_;                   // nnodes^2, sender side
+  std::vector<RxLink> rx_;                   // nnodes^2, receiver side
+  std::vector<Network::DeliverFn> deliver_;  // app sinks, per node
   std::vector<util::NodeStats*> stats_;
   std::function<const char*(std::uint16_t)> type_name_;
 };

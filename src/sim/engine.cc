@@ -21,52 +21,35 @@ Engine::~Engine() {
                                             << " live tasks");
 }
 
-void Engine::push(Queue& q, Time t, std::function<void()> fn) {
-  FGDSM_ASSERT_MSG(t >= now_, "event scheduled in the past: " << t << " < "
-                                                              << now_);
-  q.push(Event{t, next_seq_++, std::move(fn)});
-}
-
-void Engine::schedule(Time t, std::function<void()> fn) {
-  push(events_, t, std::move(fn));
-}
-
-void Engine::schedule_task_resume(Time t, std::function<void()> fn) {
-  push(resumes_, t, std::move(fn));
-}
-
-Time Engine::next_event_time() const {
-  return events_.empty() ? kTimeInfinity : events_.top().t;
-}
-
-Time Engine::next_resume_time() const {
-  return resumes_.empty() ? kTimeInfinity : resumes_.top().t;
-}
-
 void Engine::set_lookahead(Time la) {
   FGDSM_ASSERT_MSG(la >= 2, "lookahead must be >= 2 to guarantee progress");
   lookahead_ = la;
 }
 
-bool Engine::front_precedes(const Queue& a, const Queue& b) {
-  // True if a's front event should run before b's (global time,seq order).
+bool Engine::front_precedes(const EventQueue& a, const EventQueue& b) {
   if (a.empty()) return false;
   if (b.empty()) return true;
-  return b.top() > a.top();
+  return a.top_time() != b.top_time() ? a.top_time() < b.top_time()
+                                      : a.top_seq() < b.top_seq();
 }
 
 void Engine::run() {
   FGDSM_ASSERT_MSG(!running_, "Engine::run is not reentrant");
-  running_ = true;
+  // Scope guard so every exit — normal return, StallError from the watchdog,
+  // or an exception escaping an event callback — releases the flag and the
+  // engine stays usable for a subsequent run().
+  struct RunningGuard {
+    bool& flag;
+    explicit RunningGuard(bool& f) : flag(f) { flag = true; }
+    ~RunningGuard() { flag = false; }
+  } guard(running_);
   last_progress_ = now_;
   while (!events_.empty() || !resumes_.empty()) {
     const bool is_resume = !front_precedes(events_, resumes_);
-    Queue& q = is_resume ? resumes_ : events_;
-    // priority_queue::top() is const; the event is moved out via const_cast,
-    // which is safe because we pop immediately after.
-    Event ev = std::move(const_cast<Event&>(q.top()));
-    q.pop();
-    now_ = ev.t;
+    EventQueue& q = is_resume ? resumes_ : events_;
+    Time t;
+    InlineFn fn = q.pop(&t);
+    now_ = t;
     if (is_resume) {
       last_progress_ = now_;
     } else if (watchdog_ns_ > 0 && now_ - last_progress_ > watchdog_ns_ &&
@@ -77,18 +60,11 @@ void Engine::run() {
       std::ostringstream os;
       os << "watchdog: no compute-task progress for " << (now_ - last_progress_)
          << " virtual ns (threshold " << watchdog_ns_ << ")";
-      running_ = false;
       fail_stall(os.str());
     }
     ++events_processed_;
-    try {
-      ev.fn();
-    } catch (...) {
-      running_ = false;
-      throw;
-    }
+    fn();
   }
-  running_ = false;
   check_deadlock();
 }
 

@@ -1,11 +1,15 @@
 // Deterministic discrete-event engine.
 //
-// The engine owns a priority queue of (time, sequence, callback) events.
-// Events at equal timestamps run in scheduling order, so every run of the
-// same program is bit-identical. Simulated "threads" (sim::Task) hand a baton
-// back and forth with the engine: at any host instant exactly one of
-// {engine, one task} executes, which makes the whole simulator data-race-free
-// without per-object locking.
+// The engine owns two queues of (time, sequence, callback) events backed by
+// a pooled slab representation (src/sim/event_pool.h): records are recycled
+// through a free list and ordered by a binary heap of indices, so the steady
+// state processes events with zero heap allocations and no const_cast
+// gymnastics. Events at equal timestamps run in scheduling order (seq is a
+// global total order across both queues), so every run of the same program
+// is bit-identical. Simulated "threads" (sim::Task) hand a baton back and
+// forth with the engine: at any host instant exactly one of {engine, one
+// task} executes, which makes the whole simulator data-race-free without
+// per-object locking.
 //
 // Events come in two kinds:
 //   - ordinary events ("handler" events: message deliveries, timers) — a
@@ -25,19 +29,21 @@
 // Reentrancy invariant: an Engine (and everything built on it — Task,
 // Cluster, the executor) is a fully self-contained value. No function in the
 // sim/tempest/proto/mp/exec layers touches process-global mutable state; the
-// only thread-affine piece is the fiber hand-off slot in task.cc, which is
-// thread_local. Hence any number of independent simulations may run
-// concurrently on separate host threads (exec::BatchRunner), each confined
-// to its own thread, with bit-identical results to running them serially.
-// A single Engine must never be shared across threads.
+// only thread-affine pieces are the fiber hand-off slot in task.cc and
+// InlineFn's diagnostic boxed-callable counter, both thread_local. Hence any
+// number of independent simulations may run concurrently on separate host
+// threads (exec::BatchRunner), each confined to its own thread, with
+// bit-identical results to running them serially. A single Engine must never
+// be shared across threads.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/sim/event_pool.h"
 #include "src/sim/time.h"
 #include "src/util/assert.h"
 
@@ -71,14 +77,24 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
-  // Schedule an ordinary event at virtual time t (>= now()).
-  void schedule(Time t, std::function<void()> fn);
-  void schedule_after(Time dt, std::function<void()> fn) {
-    schedule(now_ + dt, std::move(fn));
+  // Schedule an ordinary event at virtual time t (>= now()). Any callable
+  // whose captures fit InlineFn::kCapacity is stored without allocating.
+  template <typename F>
+  void schedule(Time t, F&& fn) {
+    check_not_past(t);
+    events_.push(t, next_seq_++, InlineFn(std::forward<F>(fn)));
+  }
+  template <typename F>
+  void schedule_after(Time dt, F&& fn) {
+    schedule(now_ + dt, std::forward<F>(fn));
   }
 
   // Schedule a task resumption (Task internals only).
-  void schedule_task_resume(Time t, std::function<void()> fn);
+  template <typename F>
+  void schedule_task_resume(Time t, F&& fn) {
+    check_not_past(t);
+    resumes_.push(t, next_seq_++, InlineFn(std::forward<F>(fn)));
+  }
 
   // Time of the event currently being processed (or last processed).
   Time now() const { return now_; }
@@ -86,10 +102,14 @@ class Engine {
   // Timestamp of the earliest pending ordinary event, or kTimeInfinity.
   // Safe to call from a running task: while a task runs, the engine is
   // blocked and cannot pop events.
-  Time next_event_time() const;
+  Time next_event_time() const {
+    return events_.empty() ? kTimeInfinity : events_.top_time();
+  }
 
   // Timestamp of the earliest pending task resume, or kTimeInfinity.
-  Time next_resume_time() const;
+  Time next_resume_time() const {
+    return resumes_.empty() ? kTimeInfinity : resumes_.top_time();
+  }
 
   // Minimum cross-task influence latency (see file comment). Must be >= 2 to
   // guarantee progress between equal-timestamp tasks; the cluster layer sets
@@ -100,6 +120,9 @@ class Engine {
   // Run the event loop until both queues are empty. Throws if registered
   // tasks are still blocked when the queues drain (deadlock), or StallError
   // if the watchdog detects a virtual-time stall (see set_watchdog).
+  // Reusable: the running flag is released on every exit path (including
+  // exceptions thrown out of event callbacks), so a caught failure does not
+  // poison later run() calls on the same engine.
   void run();
 
   // ---- Progress watchdog (--watchdog-ns) ----
@@ -134,26 +157,26 @@ class Engine {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // Allocation accounting for the perf-regression tests: how many times the
+  // two event slabs grew. Flat across iterations once a run reaches steady
+  // state (records are recycled through the free lists).
+  std::uint64_t event_slab_grows() const {
+    return events_.slab_grows() + resumes_.slab_grows();
+  }
+
  private:
   friend class Task;
 
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
-  };
-  using Queue =
-      std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
-
-  void push(Queue& q, Time t, std::function<void()> fn);
-  static bool front_precedes(const Queue& a, const Queue& b);
+  void check_not_past(Time t) const {
+    FGDSM_ASSERT_MSG(t >= now_, "event scheduled in the past: " << t << " < "
+                                                                << now_);
+  }
+  // True if a's front event should run before b's (global time,seq order).
+  static bool front_precedes(const EventQueue& a, const EventQueue& b);
   void check_deadlock() const;
 
-  Queue events_;   // ordinary (handler) events
-  Queue resumes_;  // task-resume events
+  EventQueue events_;   // ordinary (handler) events
+  EventQueue resumes_;  // task-resume events
   Time lookahead_ = 1000;  // conservative default; cluster overrides
   Time watchdog_ns_ = 0;   // 0 = watchdog off
   Time last_progress_ = 0;  // event time of the latest task resume

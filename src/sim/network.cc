@@ -1,12 +1,19 @@
 #include "src/sim/network.h"
 
-#include <memory>
 #include <utility>
 
 #include "src/sim/fault.h"
 #include "src/util/assert.h"
 
 namespace fgdsm::sim {
+
+// The delivery closure (sink reference + Message + arrival time) must fit
+// the event record's inline buffer, or every delivery falls back to a heap
+// box. Trips when someone grows Message past the budget.
+static_assert(sizeof(Message) + sizeof(void*) + sizeof(Time) <=
+                  InlineFn::kCapacity,
+              "delivery closure no longer fits the inline event buffer; "
+              "shrink Message or raise InlineFn::kCapacity");
 
 Network::Network(Engine& engine, const CostModel& costs, int nnodes)
     : engine_(engine), costs_(costs), tx_(nnodes), deliver_(nnodes) {}
@@ -49,22 +56,21 @@ Time Network::send(Time earliest, Message msg) {
     arrival += verdict.extra_delay;
   }
 
-  // The payload moves with the event; shared_ptr lets the std::function stay
-  // copyable as std::function requires.
-  auto boxed = std::make_shared<Message>(std::move(msg));
-  DeliverFn& sink = deliver_[boxed->dst];
-  FGDSM_ASSERT_MSG(sink, "no delivery sink attached for node " << boxed->dst);
+  // The message rides inside the event record itself (InlineFn's buffer is
+  // sized for exactly this closure), so delivery costs no heap allocation.
+  DeliverFn& sink = deliver_[msg.dst];
+  FGDSM_ASSERT_MSG(sink, "no delivery sink attached for node " << msg.dst);
   if (verdict.duplicate) {
     // A second, independent copy arrives later; the channel's duplicate
     // suppression discards whichever copy loses the race.
     const Time dup_arrival = arrival + verdict.dup_delay;
-    auto dup = std::make_shared<Message>(*boxed);
-    engine_.schedule(dup_arrival, [&sink, dup, dup_arrival] {
-      sink(std::move(*dup), dup_arrival);
-    });
+    engine_.schedule(dup_arrival,
+                     [&sink, m = Message(msg), dup_arrival]() mutable {
+                       sink(std::move(m), dup_arrival);
+                     });
   }
-  engine_.schedule(arrival, [&sink, boxed, arrival] {
-    sink(std::move(*boxed), arrival);
+  engine_.schedule(arrival, [&sink, m = std::move(msg), arrival]() mutable {
+    sink(std::move(m), arrival);
   });
   return inject_end;
 }

@@ -28,13 +28,55 @@ struct Message {
   // Reliable-transport framing (sim::ReliableChannel; chaos mode only).
   // ch_seq is the per-link sequence number (0 = unsequenced: loopback and
   // pure acks); ch_ack piggybacks the sender's cumulative receive count for
-  // the reverse direction of the link.
-  std::uint32_t ch_seq = 0;
-  std::uint32_t ch_ack = 0;
+  // the reverse direction of the link. 64-bit so long soaks can never wrap:
+  // the old 32-bit fields compared with plain </> and misordered once a
+  // link's traffic crossed 2^32 messages.
+  std::uint64_t ch_seq = 0;
+  std::uint64_t ch_ack = 0;
 
   std::int64_t size_bytes(int header) const {
     return header + static_cast<std::int64_t>(payload.size());
   }
+};
+
+// Recycles payload buffers so steady-state block transfers allocate nothing.
+// Per-cluster (owned by tempest::Cluster), preserving the engine's
+// one-simulation-per-thread reentrancy invariant. acquire() returns a buffer
+// of the requested size with UNSPECIFIED contents; every producer fully
+// overwrites what it sends (block copies, chunk copies), so no stale-data
+// scrubbing is needed. release() is safe for any vector, including empty
+// ones and buffers that never came from the pool.
+class BufferPool {
+ public:
+  std::vector<std::byte> acquire(std::size_t n) {
+    if (!free_.empty()) {
+      std::vector<std::byte> b = std::move(free_.back());
+      free_.pop_back();
+      if (b.capacity() < n) ++fresh_allocs_;
+      b.resize(n);
+      return b;
+    }
+    ++fresh_allocs_;
+    return std::vector<std::byte>(n);
+  }
+
+  void release(std::vector<std::byte>&& b) {
+    if (b.capacity() == 0 || free_.size() >= kMaxFree) return;
+    free_.push_back(std::move(b));
+    free_.back().clear();
+  }
+
+  // Buffers that had to be newly allocated (pool empty or too small). Flat
+  // across iterations in steady state — the basis of the zero-allocation
+  // regression tests.
+  std::uint64_t fresh_allocs() const { return fresh_allocs_; }
+
+ private:
+  // Bounds pool memory; enough for every in-flight block transfer of an
+  // 8..32-node run with bulk transfer enabled.
+  static constexpr std::size_t kMaxFree = 1024;
+  std::vector<std::vector<std::byte>> free_;
+  std::uint64_t fresh_allocs_ = 0;
 };
 
 class FaultInjector;

@@ -63,6 +63,12 @@ class Cluster {
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return net_; }
 
+  // Per-cluster payload recycler: protocol/runtime producers acquire block
+  // and chunk buffers here, and the handler dispatch returns them after the
+  // handler consumed the message — steady-state block transfers allocate
+  // nothing.
+  sim::BufferPool& payload_pool() { return pool_; }
+
   // The one egress point for node traffic: routes through the reliable
   // channel in chaos mode, or straight to the network otherwise (same
   // contract as Network::send). Nodes must use this instead of
@@ -124,6 +130,7 @@ class Cluster {
   ClusterConfig cfg_;
   sim::Engine engine_;
   sim::Network net_;
+  sim::BufferPool pool_;
   // Chaos mode only (both null when cfg_.faults is disabled, keeping the
   // fault-free path untouched).
   std::unique_ptr<sim::FaultInjector> fault_;

@@ -260,6 +260,9 @@ void Node::execute_one_handler() {
       cluster_.handler(static_cast<MsgType>(pm.msg.type));
   h(*this, pm.msg, clk);
   proto_res().set_available(clk.t);
+  // The handler consumed the message; hand its payload buffer back so the
+  // next block/chunk producer reuses it instead of allocating.
+  cluster_.payload_pool().release(std::move(pm.msg.payload));
   if (auto* tr = cluster_.tracer()) {
     const std::string name =
         std::string("h ") + to_string(static_cast<MsgType>(pm.msg.type));
