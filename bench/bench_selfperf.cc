@@ -8,17 +8,22 @@
 //                     translation unit — counts every allocation the
 //                     process makes while the workload runs)
 //
-// over four workloads: the full bench_paper default matrix ("paper"), the
-// jacobi six-configuration slice ("jacobi"), the irregular spmv sweep
-// ("spmv"), and jacobi under chaos-mode fault injection ("chaos").
+// over five workloads: the full bench_paper default matrix ("paper"), the
+// same matrix with the engine's windowed parallel mode at four workers
+// ("paper_st4" — the intra-run scaling axis; compare its events/s against
+// "paper"), the jacobi six-configuration slice ("jacobi"), the irregular
+// spmv sweep ("spmv"), and jacobi under chaos-mode fault injection
+// ("chaos"). --sim-threads=N additionally applies N engine workers to the
+// four base workloads (default 1).
 //
 // Raw events/sec is machine-dependent, so the harness also times a fixed
 // pure-CPU calibration loop (splitmix64) and reports each workload's
 // throughput normalized by it; scripts/check_perf.py gates CI on the
 // normalized number (see EXPERIMENTS.md for the methodology and caveats).
 //
-// All measurement runs execute single-threaded (events/sec is a per-core
-// quantity); --reps=N keeps the best wall time of N repetitions.
+// Workloads execute one simulation at a time (--jobs has no analogue here);
+// --reps=N keeps the best wall time of N repetitions.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -47,17 +52,19 @@
 // allocator.
 // ---------------------------------------------------------------------------
 namespace {
-std::uint64_t g_allocs = 0;  // single-threaded measurement; plain counter
+// Atomic: the engine's --sim-threads worker crew allocates concurrently.
+// Relaxed is enough — the count is read only between runs, after joins.
+std::atomic<std::uint64_t> g_allocs{0};
 }  // namespace
 
 void* operator new(std::size_t n) {
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n ? n : 1)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t n) { return ::operator new(n); }
 void* operator new(std::size_t n, std::align_val_t a) {
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   const std::size_t align = static_cast<std::size_t>(a);
   if (void* p = std::aligned_alloc(align, (n + align - 1) / align * align))
     return p;
@@ -131,18 +138,22 @@ Measurement measure(const std::vector<exec::ExperimentSpec>& specs,
   Measurement best;
   for (int r = 0; r < reps; ++r) {
     Measurement m;
-    const std::uint64_t a0 = g_allocs;
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
     const auto t0 = Clock::now();
     for (const exec::ExperimentSpec& s : specs) {
       const exec::RunResult res = exec::run(*s.program, s.config);
       m.events += res.engine_events;
     }
     m.seconds = seconds_since(t0);
-    m.allocs = g_allocs - a0;
+    m.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
     if (r == 0 || m.seconds < best.seconds) best = m;
   }
   return best;
 }
+
+// --sim-threads applied to every spec built by spec_for (the dedicated
+// paper_st4 workload overrides it to 4 explicitly).
+int g_sim_threads_default = 1;
 
 exec::ExperimentSpec spec_for(const hpf::Program& prog,
                               const core::Options& opt, int nodes,
@@ -152,6 +163,7 @@ exec::ExperimentSpec spec_for(const hpf::Program& prog,
   s.config.cluster.nnodes = nodes;
   s.config.cluster.block_size = block;
   s.config.cluster.dual_cpu = dual_cpu;
+  s.config.cluster.sim_threads = g_sim_threads_default;
   s.config.opt = opt;
   s.config.gather_arrays = false;
   return s;
@@ -187,15 +199,21 @@ std::string cpu_model() {
 
 int selfperf_main(int argc, char** argv) {
   util::Options o(argc, argv);
-  o.check_known({"scale", "nodes", "block", "reps", "workload", "json"});
+  o.check_known(
+      {"scale", "nodes", "block", "reps", "workload", "json", "sim-threads"});
   const double scale = o.get_double("scale", 0.15);
   const int nodes = static_cast<int>(o.get_int("nodes", 8));
   const std::size_t block = static_cast<std::size_t>(o.get_int("block", 128));
   const int reps = static_cast<int>(o.get_int("reps", 1));
   const std::string only = o.get("workload", "");
   const std::string json_path = o.get("json", "");
+  const int sim_threads = static_cast<int>(o.get_int("sim-threads", 1));
   if (reps < 1) {
     std::fprintf(stderr, "fgdsm: --reps must be >= 1\n");
+    return 2;
+  }
+  if (sim_threads < 1) {
+    std::fprintf(stderr, "fgdsm: --sim-threads must be >= 1\n");
     return 2;
   }
 
@@ -215,6 +233,7 @@ int selfperf_main(int argc, char** argv) {
   };
   std::vector<Workload> workloads;
 
+  g_sim_threads_default = sim_threads;
   {
     // Full bench_paper default matrix — the headline workload.
     Workload w{"paper", {}};
@@ -222,7 +241,14 @@ int selfperf_main(int argc, char** argv) {
       progs.push_back(app.scaled(scale));
       add_paper_configs(w.specs, progs.back(), nodes, block);
     }
+    // Intra-run scaling axis: the same matrix with four engine workers
+    // (conservative synchronous-window PDES). Bit-identical simulated
+    // results; the tracked artifact is the events/s ratio vs "paper".
+    Workload st4{"paper_st4", w.specs};
+    for (exec::ExperimentSpec& s : st4.specs)
+      s.config.cluster.sim_threads = 4;
     workloads.push_back(std::move(w));
+    workloads.push_back(std::move(st4));
   }
   {
     // Jacobi alone: the stencil steady state, dominated by protocol events.

@@ -24,7 +24,12 @@
 //                   rto-ns=N,retries=K,seed=S); see src/sim/fault.h
 //   --watchdog-ns=<n>  virtual-time stall watchdog (default 2e9 with
 //                   --faults, otherwise off); stalls exit with code 86
+//   --sim-threads=<n>  worker threads INSIDE each simulation (conservative
+//                   synchronous-window PDES; default 1). Results are
+//                   bit-identical at any value; the effective count shares
+//                   the host-core budget with --jobs (sim::HostBudget)
 //
+
 // Unrecognized --flags are fatal (exit 2) with a closest-match suggestion.
 //
 // Harnesses build their whole (app x configuration) sweep as a matrix of
@@ -72,6 +77,9 @@ inline bool g_trace_assigned = false;
 inline sim::FaultConfig g_faults;
 // --watchdog-ns=<n>: virtual-time stall threshold for every spec (0 = off).
 inline sim::Time g_watchdog_ns = 0;
+// --sim-threads=<n>: engine worker threads per simulation for every spec
+// built by make_spec (bit-identical results at any value).
+inline int g_sim_threads = 1;
 
 struct BenchConfig {
   double scale = 0.15;
@@ -85,6 +93,7 @@ struct BenchConfig {
   bool check_coherence = false;
   sim::FaultConfig faults;     // --faults=<spec>; disabled by default
   sim::Time watchdog_ns = 0;   // --watchdog-ns=<n>; 0 = off
+  int sim_threads = 1;         // --sim-threads=<n>; workers per simulation
 
   // `extra_known` declares harness-specific flags beyond the shared set
   // (strict mode rejects everything else).
@@ -95,7 +104,8 @@ struct BenchConfig {
     std::vector<std::string> known = {
         "scale", "nodes",     "block", "app",   "jobs",
         "plan-cache", "plan-cache-misses", "full", "json",  "trace",
-        "per-loop", "check-coherence", "faults", "watchdog-ns"};
+        "per-loop", "check-coherence", "faults", "watchdog-ns",
+        "sim-threads"};
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     o.check_known(known);
     BenchConfig c;
@@ -127,9 +137,15 @@ struct BenchConfig {
     // barrier interval at these scales) whenever faults are enabled.
     c.watchdog_ns = static_cast<sim::Time>(o.get_int(
         "watchdog-ns", c.faults.enabled ? 2'000'000'000 : 0));
+    c.sim_threads = static_cast<int>(o.get_int("sim-threads", 1));
+    if (c.sim_threads < 1) {
+      std::fprintf(stderr, "fgdsm: --sim-threads must be >= 1\n");
+      std::exit(2);
+    }
     g_check_coherence = c.check_coherence;
     g_faults = c.faults;
     g_watchdog_ns = c.watchdog_ns;
+    g_sim_threads = c.sim_threads;
     g_trace_path = c.trace_path;
     g_trace_assigned = false;
     return c;
@@ -158,6 +174,7 @@ inline exec::ExperimentSpec make_spec(const hpf::Program& prog,
   s.config.cluster.check_coherence = g_check_coherence;
   s.config.cluster.faults = g_faults;
   s.config.cluster.watchdog_ns = g_watchdog_ns;
+  s.config.cluster.sim_threads = g_sim_threads;
   if (!g_trace_path.empty() && !g_trace_assigned) {
     s.config.trace_path = g_trace_path;
     g_trace_assigned = true;

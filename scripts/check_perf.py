@@ -3,7 +3,7 @@
 
 Usage:
   scripts/check_perf.py CURRENT.json [--baseline BENCH_PERF.json]
-                        [--tolerance 0.20] [--update]
+                        [--tolerance 0.20] [--update] [--allocs-only]
 
 CURRENT.json is a fresh `bench_selfperf --json=...` run (fgdsm-selfperf-v1).
 The baseline (BENCH_PERF.json at the repo root, committed) records the
@@ -22,6 +22,11 @@ What is compared, per workload:
     build, so a mismatch means the *simulation* changed, not the machine —
     the normalized comparison would be meaningless. Intentional behavior
     changes must refresh the baseline (--update) in the same commit.
+
+--allocs-only demotes the throughput comparison to an informational trend
+(printed, never failing) while allocs/event and the event count stay hard
+gates — for runners whose scheduling variance trips even the normalized
+band. The JSON artifact still carries the throughput numbers.
 
 --update rewrites the baseline's gate section from CURRENT.json (preserving
 the history block if present). Exits 0 on pass, 1 on regression/mismatch.
@@ -47,6 +52,9 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.20)
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline gate section from CURRENT")
+    ap.add_argument("--allocs-only", action="store_true",
+                    help="gate allocs/event only; report throughput as a "
+                         "non-failing trend")
     args = ap.parse_args()
 
     cur = load(args.current)
@@ -91,12 +99,17 @@ def main():
         ratio = c["normalized_events_per_mop"] / b["normalized_events_per_mop"]
         status = "ok"
         if c["normalized_events_per_mop"] < floor:
-            failures.append(
-                f"{name}: normalized throughput regressed to {ratio:.2f}x "
-                f"of baseline (floor {1.0 - tol:.2f}x): "
-                f"{c['normalized_events_per_mop']:.6f} ev/Mop vs baseline "
-                f"{b['normalized_events_per_mop']:.6f}")
-            status = "FAIL"
+            if args.allocs_only:
+                print(f"check_perf: {name}: throughput {ratio:.2f}x of "
+                      f"baseline (below {1.0 - tol:.2f}x floor; trend only, "
+                      f"not gated)")
+            else:
+                failures.append(
+                    f"{name}: normalized throughput regressed to {ratio:.2f}x "
+                    f"of baseline (floor {1.0 - tol:.2f}x): "
+                    f"{c['normalized_events_per_mop']:.6f} ev/Mop vs baseline "
+                    f"{b['normalized_events_per_mop']:.6f}")
+                status = "FAIL"
         alloc_cap = b["allocs_per_event"] * (1.0 + tol) + 0.25
         if c["allocs_per_event"] > alloc_cap:
             failures.append(

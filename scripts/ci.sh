@@ -14,6 +14,18 @@
 #   scripts/ci.sh perf       perf-regression gate: bench_selfperf vs the
 #                            committed BENCH_PERF.json baseline, normalized
 #                            by host calibration, 20% tolerance band
+#                            (PERF_ALLOCS_ONLY=1 gates allocs/event only and
+#                            demotes throughput to an artifact trend — for
+#                            runners whose variance trips the 20% band)
+#   scripts/ci.sh simthreads bit-identity matrix for the windowed PDES mode:
+#                            determinism suite + PDES unit tests, then
+#                            bench_table3 fault-free and under chaos at
+#                            --sim-threads={1,4} — JSON results must be
+#                            byte-identical across thread counts
+#   scripts/ci.sh tsan       TSan build of the worker-crew path: the PDES
+#                            partition/merge tests run with real threads on
+#                            plain callables (no ucontext fibers — TSan
+#                            cannot track fiber stack switches)
 # Extra cmake args may follow the job name.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -105,16 +117,69 @@ case "$job" in
     # against the committed baseline (BENCH_PERF.json) with a tolerance
     # band. Normalization against the host's calibrated integer throughput
     # makes the comparison tolerant of slower/faster CI machines; the wide
-    # band absorbs the rest of the host variance.
+    # band absorbs the rest of the host variance. On runners where even the
+    # normalized throughput is too noisy for the band, set
+    # PERF_ALLOCS_ONLY=1: allocs/event (host-independent) stays a hard gate
+    # and throughput is reported as a trend in the selfperf.json artifact.
     cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "$@"
     cmake --build build -j "$jobs" --target bench_selfperf
     mkdir -p results
     build/bench/bench_selfperf --reps=3 --json=results/selfperf.json
+    allocs_flag=""
+    [[ "${PERF_ALLOCS_ONLY:-0}" == "1" ]] && allocs_flag="--allocs-only"
     python3 scripts/check_perf.py results/selfperf.json \
-      --baseline BENCH_PERF.json --tolerance 0.20
+      --baseline BENCH_PERF.json --tolerance 0.20 $allocs_flag
+    ;;
+  simthreads)
+    # Bit-identity matrix for conservative synchronous-window PDES: the same
+    # simulation at --sim-threads=1 and --sim-threads=4 must produce byte-
+    # identical machine-readable results, fault-free and under chaos.
+    # FGDSM_HOST_CORES pins the worker budget so the matrix is meaningful
+    # even on small runners (thread counts change wall time only).
+    cmake -B build -S . "$@"
+    cmake --build build -j "$jobs"
+    ctest --test-dir build --output-on-failure -j "$jobs" \
+      -R "Determinism|PartitionMerge|SimThreads"
+    mkdir -p results
+    for st in 1 4; do
+      FGDSM_HOST_CORES=4 build/bench/bench_table3 --scale=0.05 \
+        --sim-threads="$st" --check-coherence \
+        --json="results/simthreads_st$st.json"
+      FGDSM_HOST_CORES=4 build/bench/bench_table3 --scale=0.05 \
+        --sim-threads="$st" --check-coherence \
+        --faults="drop=0.01,dup=0.002,delay=0.05,reorder=0.01,seed=1" \
+        --json="results/simthreads_chaos_st$st.json"
+    done
+    cmp results/simthreads_st1.json results/simthreads_st4.json || {
+      echo "simthreads: fault-free results differ across --sim-threads" >&2
+      exit 1
+    }
+    cmp results/simthreads_chaos_st1.json results/simthreads_chaos_st4.json || {
+      echo "simthreads: chaos results differ across --sim-threads" >&2
+      exit 1
+    }
+    python3 scripts/check_chaos.py results/simthreads_st1.json \
+      results/simthreads_chaos_st1.json results/simthreads_chaos_st4.json
+    echo "simthreads: results byte-identical at --sim-threads={1,4}"
+    ;;
+  tsan)
+    # ThreadSanitizer over the worker crew + outbox merge. Only the PDES
+    # partition tests run: they exercise the full windowed machinery
+    # (barrier, cross-partition merge, budget) with plain callables. The
+    # fiber-based suites stay out — TSan cannot follow ucontext stack
+    # switches and reports false positives on every fiber hand-off.
+    cmake -B build-tsan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+      "$@"
+    cmake --build build-tsan -j "$jobs" --target pdes_partition_test
+    FGDSM_HOST_CORES=8 ctest --test-dir build-tsan --output-on-failure \
+      -R "PartitionMerge"
     ;;
   *)
-    echo "unknown job '$job' (expected: verify | sanitize | chaos | perf)" >&2
+    echo "unknown job '$job' (expected: verify | sanitize | chaos | perf |" \
+      "simthreads | tsan)" >&2
     exit 2
     ;;
 esac

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "src/sim/host_budget.h"
 #include "src/util/assert.h"
 
 namespace fgdsm::exec {
@@ -27,9 +28,26 @@ std::vector<RunResult> BatchRunner::run_all(
     }
   };
 
-  const std::size_t workers =
+  // Batch-level and sim-level parallelism (--jobs × --sim-threads) share
+  // one process-wide core budget: extra batch workers beyond the caller's
+  // own thread are taken from sim::HostBudget, and each simulation's engine
+  // draws its worker crew from the same pool. Thread counts never affect
+  // results — the clamp only changes wall time.
+  std::size_t workers =
       static_cast<std::size_t>(jobs_) < n ? static_cast<std::size_t>(jobs_)
                                           : n;
+  int granted = 0;
+  if (workers > 1) {
+    granted = sim::HostBudget::instance().acquire(
+        static_cast<int>(workers) - 1);
+    workers = static_cast<std::size_t>(1 + granted);
+  }
+  struct BudgetGuard {
+    int tokens;
+    ~BudgetGuard() {
+      if (tokens > 0) sim::HostBudget::instance().release(tokens);
+    }
+  } budget_guard{granted};
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) run_one(i);
   } else {

@@ -72,6 +72,13 @@ struct NodeRun {
   // Per-parallel-loop counter deltas, accumulated at phase boundaries.
   std::map<std::string, util::NodeStats> loop_stats;
 
+  // Hot-path scratch, reused across chunks and timesteps so the steady
+  // state allocates nothing: inspector need-list temporaries (spmv
+  // re-inspects every step) and chunk-footprint evaluation temporaries.
+  irreg::ScanScratch irreg_scratch;
+  hpf::FootprintScratch fp_scratch;
+  hpf::ConcreteSection fp_section;
+
   util::NodeStats snap;      // stats at program completion
   sim::Time snap_time = 0;
 };
@@ -419,8 +426,9 @@ class Executor {
 
     ++n.stats.irreg_inspections;
     const sim::Time t0 = t.now();
-    irreg::ScanResult sr = irreg::scan(loop, prog_, st.bind, layouts_, np, n,
-                                       t, /*ensure_index=*/shmem());
+    irreg::ScanResult sr =
+        irreg::scan(loop, prog_, st.bind, layouts_, np, n, t,
+                    /*ensure_index=*/shmem(), &st.irreg_scratch);
     const std::vector<std::vector<irreg::Need>> all =
         irreg_->exchange(n, t, std::move(sr.needs));
     auto transfers = hpf::analyze_transfers(loop, prog_, st.bind, np);
@@ -709,7 +717,11 @@ class Executor {
       const std::map<std::string, std::vector<std::int64_t>>& ext,
       std::vector<Run>* out) {
     out->clear();
-    ConcreteSection s = hpf::chunk_footprint(loop, ref, prog_, st.bind, j);
+    // The section and range-list temporaries live in NodeRun and are reused
+    // across chunks and timesteps — this runs several times per chunk.
+    ConcreteSection& s = st.fp_section;
+    hpf::chunk_footprint_into(loop, ref, prog_, st.bind, j, st.fp_scratch,
+                              &s);
     const auto& e = ext.at(ref.array);
     for (std::size_t d = 0; d < s.dims.size(); ++d)
       s.dims[d] = hpf::intersect(

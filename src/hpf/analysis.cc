@@ -113,11 +113,14 @@ ConcreteInterval local_iters(const ParallelLoop& loop, const Program& prog,
 }
 
 namespace {
-// Loop-variable ranges for a ref evaluation: dist + free variables.
-std::vector<std::pair<std::string, ConcreteInterval>> var_ranges(
+// Loop-variable ranges for a ref evaluation: dist + free variables. Clears
+// and refills `ranges` (the per-chunk callers reuse one vector; the symbol
+// names are short enough for SSO, so a refill touches no allocator).
+void var_ranges_into(
     const ParallelLoop& loop, const Bindings& b,
-    const ConcreteInterval& dist_range, bool allow_dist_dependent_free) {
-  std::vector<std::pair<std::string, ConcreteInterval>> ranges;
+    const ConcreteInterval& dist_range, bool allow_dist_dependent_free,
+    std::vector<std::pair<std::string, ConcreteInterval>>& ranges) {
+  ranges.clear();
   ranges.emplace_back(loop.dist.sym, dist_range);
   for (const auto& fv : loop.free) {
     FGDSM_ASSERT_MSG(
@@ -134,22 +137,33 @@ std::vector<std::pair<std::string, ConcreteInterval>> var_ranges(
                          eval_with(fv.hi, b, loop.dist.sym, dist_range.lo), 1}
             .normalized());
   }
-  return ranges;
+}
+
+void section_for_into(const ParallelLoop& loop, const ArrayRef& ref,
+                      const Program& prog, const Bindings& b,
+                      const ConcreteInterval& dist_range,
+                      bool allow_dist_dependent_free,
+                      std::vector<std::pair<std::string, ConcreteInterval>>&
+                          ranges,
+                      ConcreteSection* out) {
+  const ArrayDecl& a = prog.array(ref.array);
+  FGDSM_ASSERT_MSG(ref.subs.size() == a.extents.size(),
+                   "rank mismatch on " << ref.array);
+  var_ranges_into(loop, b, dist_range, allow_dist_dependent_free, ranges);
+  out->dims.clear();
+  out->dims.reserve(ref.subs.size());
+  for (const auto& sub : ref.subs)
+    out->dims.push_back(eval_subscript(sub, ranges, b));
 }
 
 ConcreteSection section_for(const ParallelLoop& loop, const ArrayRef& ref,
                             const Program& prog, const Bindings& b,
                             const ConcreteInterval& dist_range,
                             bool allow_dist_dependent_free) {
-  const ArrayDecl& a = prog.array(ref.array);
-  FGDSM_ASSERT_MSG(ref.subs.size() == a.extents.size(),
-                   "rank mismatch on " << ref.array);
-  const auto ranges =
-      var_ranges(loop, b, dist_range, allow_dist_dependent_free);
+  std::vector<std::pair<std::string, ConcreteInterval>> ranges;
   ConcreteSection s;
-  s.dims.reserve(ref.subs.size());
-  for (const auto& sub : ref.subs)
-    s.dims.push_back(eval_subscript(sub, ranges, b));
+  section_for_into(loop, ref, prog, b, dist_range, allow_dist_dependent_free,
+                   ranges, &s);
   return s;
 }
 }  // namespace
@@ -167,6 +181,15 @@ ConcreteSection chunk_footprint(const ParallelLoop& loop, const ArrayRef& ref,
   return section_for(loop, ref, prog, b,
                      ConcreteInterval{dist_value, dist_value, 1},
                      /*allow_dist_dependent_free=*/true);
+}
+
+void chunk_footprint_into(const ParallelLoop& loop, const ArrayRef& ref,
+                          const Program& prog, const Bindings& b,
+                          std::int64_t dist_value, FootprintScratch& scratch,
+                          ConcreteSection* out) {
+  section_for_into(loop, ref, prog, b,
+                   ConcreteInterval{dist_value, dist_value, 1},
+                   /*allow_dist_dependent_free=*/true, scratch.ranges, out);
 }
 
 namespace {

@@ -63,6 +63,21 @@ ConcreteSection chunk_footprint(const ParallelLoop& loop, const ArrayRef& ref,
                                 const Program& prog, const Bindings& b,
                                 std::int64_t dist_value);
 
+// Reusable temporaries for chunk_footprint_into: the loop-variable range
+// list. Loop-variable names are short (SSO), so once the vector has grown
+// to the loop's variable count a refill touches no allocator.
+struct FootprintScratch {
+  std::vector<std::pair<std::string, ConcreteInterval>> ranges;
+};
+
+// Allocation-free form of chunk_footprint for per-chunk hot loops: clears
+// and refills out->dims, drawing temporaries from `scratch`; both keep
+// their capacity across calls.
+void chunk_footprint_into(const ParallelLoop& loop, const ArrayRef& ref,
+                          const Program& prog, const Bindings& b,
+                          std::int64_t dist_value, FootprintScratch& scratch,
+                          ConcreteSection* out);
+
 // All transfers implied by one parallel loop: non-owner reads and non-owner
 // writes, merged per (array, sender, receiver).
 std::vector<Transfer> analyze_transfers(const ParallelLoop& loop,

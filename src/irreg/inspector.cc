@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "src/hpf/distribution.h"
 #include "src/hpf/layout.h"
@@ -41,9 +40,10 @@ bool has_indirect(const hpf::Program& prog) {
   return phases_have_indirect(prog.phases);
 }
 
-std::vector<std::string> gather_arrays(const hpf::ParallelLoop& loop,
-                                       const hpf::Program& prog) {
-  std::set<std::string> names;
+void gather_arrays_into(const hpf::ParallelLoop& loop,
+                        const hpf::Program& prog,
+                        std::vector<std::string>* out) {
+  out->clear();
   for (const auto& ir : loop.ind_reads) {
     const hpf::ArrayDecl& a = prog.array(ir.array);
     if (a.dist == hpf::DistKind::kReplicated) continue;  // local reads
@@ -51,23 +51,37 @@ std::vector<std::string> gather_arrays(const hpf::ParallelLoop& loop,
                      "indirect read of multi-dimensional array " << ir.array);
     FGDSM_ASSERT_MSG(a.dist == hpf::DistKind::kBlock,
                      "indirect read of non-BLOCK array " << ir.array);
-    names.insert(ir.array);
+    out->push_back(ir.array);
   }
-  return {names.begin(), names.end()};
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+std::vector<std::string> gather_arrays(const hpf::ParallelLoop& loop,
+                                       const hpf::Program& prog) {
+  std::vector<std::string> names;
+  gather_arrays_into(loop, prog, &names);
+  return names;
 }
 
 ScanResult scan(const hpf::ParallelLoop& loop, const hpf::Program& prog,
                 const hpf::Bindings& b, const core::LayoutMap& layouts,
                 int np, tempest::Node& node, sim::Task& task,
-                bool ensure_index) {
+                bool ensure_index, ScanScratch* scratch) {
+  ScanScratch local;
+  ScanScratch& sc = scratch != nullptr ? *scratch : local;
   ScanResult res;
-  const std::vector<std::string> canon = gather_arrays(loop, prog);
+  gather_arrays_into(loop, prog, &sc.canon);
+  const std::vector<std::string>& canon = sc.canon;
   if (canon.empty()) return res;
   const int me = node.id();
   const ConcreteInterval iters = hpf::local_iters(loop, prog, b, np, me);
 
-  // Needed elements per canonical array, deduplicated as we go.
-  std::vector<std::set<std::int64_t>> needed(canon.size());
+  // Out-of-owner elements, logged as (array id, element) and deduplicated
+  // after the fact: sort + unique over the flat log replaces a per-array
+  // std::set, whose node allocations dominated the inspection's heap
+  // traffic (one per needed element).
+  sc.elems.clear();
 
   for (const auto& ir : loop.ind_reads) {
     const auto cit = std::find(canon.begin(), canon.end(), ir.array);
@@ -92,7 +106,9 @@ ScanResult scan(const hpf::ParallelLoop& loop, const hpf::Program& prog,
     const hpf::ArrayLayout& lay = layouts.at(ir.index_array);
     const ConcreteSection idx_owned_sec =
         hpf::owned_section(idx_decl, b, np, me);
-    for (const Run& r : hpf::linearize(lay, sec)) {
+    sc.runs.clear();
+    hpf::linearize_into(lay, sec, &sc.runs);
+    for (const Run& r : sc.runs) {
       if (ensure_index) {
         node.ensure_readable(task, r.addr, r.len);
       } else if (idx_decl.dist != hpf::DistKind::kReplicated) {
@@ -113,26 +129,30 @@ ScanResult scan(const hpf::ParallelLoop& loop, const hpf::Program& prog,
         FGDSM_ASSERT_MSG(e >= 0 && e < n,
                          "indirection value out of range: " << ir.array << "("
                              << e << ") of " << n);
-        if (e < owned.lo || e > owned.hi) needed[aid].insert(e);
+        if (e < owned.lo || e > owned.hi)
+          sc.elems.emplace_back(static_cast<std::int64_t>(aid), e);
       }
       res.elements_scanned += static_cast<std::int64_t>(count);
     }
   }
 
-  // Merge each array's element set into maximal disjoint intervals.
-  for (std::size_t aid = 0; aid < needed.size(); ++aid) {
-    const auto& els = needed[aid];
-    for (auto it = els.begin(); it != els.end();) {
-      Need nd;
-      nd.array = static_cast<std::int64_t>(aid);
-      nd.lo = nd.hi = *it;
-      ++it;
-      while (it != els.end() && *it == nd.hi + 1) {
-        nd.hi = *it;
-        ++it;
-      }
-      res.needs.push_back(nd);
+  // Deduplicate, then merge each array's elements into maximal disjoint
+  // intervals. Lexicographic (array id, element) order reproduces exactly
+  // the iteration order of the old per-array ordered sets.
+  std::sort(sc.elems.begin(), sc.elems.end());
+  sc.elems.erase(std::unique(sc.elems.begin(), sc.elems.end()),
+                 sc.elems.end());
+  for (std::size_t i = 0; i < sc.elems.size();) {
+    Need nd;
+    nd.array = sc.elems[i].first;
+    nd.lo = nd.hi = sc.elems[i].second;
+    ++i;
+    while (i < sc.elems.size() && sc.elems[i].first == nd.array &&
+           sc.elems[i].second == nd.hi + 1) {
+      nd.hi = sc.elems[i].second;
+      ++i;
     }
+    res.needs.push_back(nd);
   }
 
   // Deterministic inspection cost: one runtime-call entry plus a streaming

@@ -29,11 +29,13 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/plan.h"
 #include "src/hpf/analysis.h"
 #include "src/hpf/ir.h"
+#include "src/hpf/layout.h"
 #include "src/sim/task.h"
 #include "src/tempest/node.h"
 
@@ -60,10 +62,27 @@ bool has_indirect(const hpf::Program& prog);
 // Asserts the remaining arrays are 1-D and BLOCK-distributed.
 std::vector<std::string> gather_arrays(const hpf::ParallelLoop& loop,
                                        const hpf::Program& prog);
+// Allocation-free form: clears and refills *out, reusing its capacity.
+void gather_arrays_into(const hpf::ParallelLoop& loop,
+                        const hpf::Program& prog,
+                        std::vector<std::string>* out);
 
 struct ScanResult {
   std::vector<Need> needs;             // sorted by (array, lo), disjoint
   std::int64_t elements_scanned = 0;   // index elements read
+};
+
+// Reusable arena for scan()'s need-list temporaries. Iterative apps with a
+// changing indirection array (the spmv sweep) re-inspect every timestep;
+// holding one of these per node across timesteps keeps the steady-state
+// scan allocation-free — the element log replaces the per-element
+// node-allocating std::set the scan used to build.
+struct ScanScratch {
+  std::vector<std::string> canon;  // canonical gather-array list
+  // Out-of-owner elements as (array id, element); sorted + deduplicated in
+  // place, then folded into maximal intervals.
+  std::vector<std::pair<std::int64_t, std::int64_t>> elems;
+  std::vector<hpf::Run> runs;      // linearized index-slice runs
 };
 
 // Scan the indirection arrays over this node's local iterations and return
@@ -71,11 +90,13 @@ struct ScanResult {
 // memory) the index blocks are faulted readable through the default protocol
 // first; without it (message passing) the index footprint must already be
 // owned by this node (aligned indirection arrays) — asserted.
-// Charges the deterministic inspection cost to `task`.
+// Charges the deterministic inspection cost to `task`. `scratch` (optional)
+// donates reusable temporaries; pass the same one across timesteps to make
+// repeat inspections allocation-free.
 ScanResult scan(const hpf::ParallelLoop& loop, const hpf::Program& prog,
                 const hpf::Bindings& b, const core::LayoutMap& layouts,
                 int np, tempest::Node& node, sim::Task& task,
-                bool ensure_index);
+                bool ensure_index, ScanScratch* scratch = nullptr);
 
 // Fold all nodes' need lists (indexed by node id, each sorted/disjoint as
 // produced by scan) into the implied transfer set: for every needed interval

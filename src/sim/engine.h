@@ -1,40 +1,75 @@
-// Deterministic discrete-event engine.
+// Deterministic discrete-event engine with partitioned event queues and a
+// conservative synchronous-window parallel mode (--sim-threads).
 //
-// The engine owns two queues of (time, sequence, callback) events backed by
-// a pooled slab representation (src/sim/event_pool.h): records are recycled
-// through a free list and ordered by a binary heap of indices, so the steady
-// state processes events with zero heap allocations and no const_cast
-// gymnastics. Events at equal timestamps run in scheduling order (seq is a
-// global total order across both queues), so every run of the same program
-// is bit-identical. Simulated "threads" (sim::Task) hand a baton back and
-// forth with the engine: at any host instant exactly one of {engine, one
-// task} executes, which makes the whole simulator data-race-free without
-// per-object locking.
+// The engine owns one event partition per simulated node group (the cluster
+// maps node i to partition i). Each partition holds two queues of
+// (time, sequence, callback) events backed by a pooled slab representation
+// (src/sim/event_pool.h): records are recycled through a free list and
+// ordered by a binary heap of indices, so the steady state processes events
+// with zero heap allocations. Within a partition, events at equal timestamps
+// run in scheduling order (seq is a per-partition total order across both
+// queues), so every run of the same program is bit-identical.
+//
+// Parallel mode (conservative synchronous-window PDES): with more than one
+// partition, run() repeatedly
+//   1. computes the global safe time S = min over all partitions of the
+//      earliest pending event, and the window boundary
+//      W = S + min-link-latency (set_window_lookahead; the cluster wires in
+//      Network::min_link_latency());
+//   2. lets every partition drain its events with t < W independently — one
+//      worker thread per partition group, statically pinned so a task fiber
+//      never migrates between host threads;
+//   3. merges cross-partition sends. A send targeting another partition is
+//      buffered into the source partition's outbox (stamped with the source
+//      partition's next sequence number), and at the barrier all outboxes
+//      are merged in the fixed global order (dst, time, src seq, src
+//      partition) and appended to the destination queues with freshly
+//      assigned destination sequence numbers. Because the merge key and the
+//      per-partition execution order are both independent of the host
+//      thread count, --sim-threads=N is bit-identical to --sim-threads=1.
+// Correctness of the window rests on the same minimum-latency argument as
+// the task lookahead below: nothing one partition does during [S, W) can be
+// observed by another partition before W, because every cross-partition
+// influence crosses the wire (>= min link latency). merge() asserts this
+// invariant on every cross event.
+//
+// A single-partition engine (the default, and every serial/1-node run) takes
+// the historical non-windowed path: one loop popping the global (time, seq)
+// minimum, with no barriers and no worker threads.
 //
 // Events come in two kinds:
 //   - ordinary events ("handler" events: message deliveries, timers) — a
 //     running task must never let its virtual clock pass one of these,
 //     because the event may mutate state the task observes (block tags);
-//   - task-resume events — bookkeeping for the baton. A running task may run
-//     ahead of another task's pending resume by strictly less than the
-//     engine's *lookahead* (conservative-PDES style): lookahead must be a
-//     lower bound on the latency with which one task's actions can affect
-//     another (here: message injection + wire latency). This both preserves
-//     causality — a laggard task always gets scheduled before its earliest
-//     possible effect on anyone else — and breaks the livelock that arises
-//     if equal-timestamp tasks yield to each other unconditionally.
+//   - task-resume events — bookkeeping for the fiber baton. A running task
+//     may run ahead of another task's pending resume by strictly less than
+//     the engine's *lookahead* (conservative-PDES style): lookahead must be
+//     a lower bound on the latency with which one task's actions can affect
+//     another (here: message injection + wire latency). In windowed runs the
+//     window boundary W additionally caps every task's clock; both bounds
+//     preserve causality and break the livelock of equal-timestamp tasks
+//     yielding to each other unconditionally.
 // next_event_time() reports only ordinary events; the run loop interleaves
-// both kinds in global (time, sequence) order.
+// both kinds in (time, sequence) order per partition.
 //
-// Reentrancy invariant: an Engine (and everything built on it — Task,
-// Cluster, the executor) is a fully self-contained value. No function in the
-// sim/tempest/proto/mp/exec layers touches process-global mutable state; the
-// only thread-affine pieces are the fiber hand-off slot in task.cc and
-// InlineFn's diagnostic boxed-callable counter, both thread_local. Hence any
-// number of independent simulations may run concurrently on separate host
-// threads (exec::BatchRunner), each confined to its own thread, with
-// bit-identical results to running them serially. A single Engine must never
-// be shared across threads.
+// Reentrancy invariant (changed shape in the --sim-threads refactor): an
+// Engine remains a fully self-contained value — no simulation RESULT ever
+// depends on process-global mutable state — but a multi-partition engine is
+// no longer confined to one host thread. During a windowed run() the engine
+// fans partitions out over an internal worker crew; everything a partition's
+// events touch (its node's memory, tags, per-link channel state, its task's
+// fiber) is owned by exactly one partition, partitions are statically pinned
+// to workers, and all cross-partition effects flow through the outbox merge
+// at the window barrier, which is also the only cross-thread happens-before
+// edge the simulation needs. The thread-affine pieces are per host thread
+// (the fiber hand-off slot in task.cc, the drain context below, InlineFn's
+// diagnostic boxed counter). Host-level sizing (how many workers actually
+// spawn) comes from the process-wide sim::HostBudget so batch-level and
+// sim-level parallelism share one core budget; the grant affects wall time
+// only, never results. Any number of independent simulations may still run
+// concurrently on separate host threads (exec::BatchRunner), bit-identical
+// to running them serially. A single Engine must never be entered from two
+// threads at once — only its own run() may fan out.
 #pragma once
 
 #include <cstdint>
@@ -72,43 +107,121 @@ inline constexpr int kStallExitCode = 86;
 
 class Engine {
  public:
-  Engine() = default;
+  Engine() : parts_(1) { parts_[0].index = 0; }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
-  // Schedule an ordinary event at virtual time t (>= now()). Any callable
-  // whose captures fit InlineFn::kCapacity is stored without allocating.
+  // ---- Partition topology (before any scheduling) ----
+
+  // Split the event space into n partitions (the cluster passes nnodes).
+  // Must be called before any event is scheduled or task registered.
+  void set_partitions(int n);
+  int partitions() const { return static_cast<int>(parts_.size()); }
+
+  // Node -> partition mapping: identity for a partitioned engine, everything
+  // to partition 0 otherwise. Used by the network to route deliveries into
+  // the destination's partition.
+  int partition_of_node(int node) const {
+    if (parts_.size() == 1) return 0;
+    FGDSM_DCHECK(node >= 0 && node < static_cast<int>(parts_.size()));
+    return node;
+  }
+
+  // Desired worker threads for windowed runs (clamped to the partition
+  // count and the process-wide sim::HostBudget grant at run() time). The
+  // thread count never affects simulated results — only wall time.
+  void set_sim_threads(int n) { sim_threads_ = n < 1 ? 1 : n; }
+  int sim_threads() const { return sim_threads_; }
+
+  // The synchronous-window lookahead: a lower bound on the latency of any
+  // cross-partition influence (the cluster passes
+  // Network::min_link_latency()). 0 (the default) falls back to the task
+  // lookahead.
+  void set_window_lookahead(Time w);
+  Time window_lookahead() const {
+    return window_lookahead_ > 0 ? window_lookahead_ : lookahead_;
+  }
+
+  // ---- Scheduling ----
+
+  // Schedule an ordinary event at virtual time t (>= now()) in the current
+  // partition (the one whose event is executing; partition 0 outside a run).
+  // Any callable whose captures fit InlineFn::kCapacity is stored without
+  // allocating.
   template <typename F>
   void schedule(Time t, F&& fn) {
-    check_not_past(t);
-    events_.push(t, next_seq_++, InlineFn(std::forward<F>(fn)));
+    schedule_impl(current_partition_index(), t, /*is_resume=*/false,
+                  InlineFn(std::forward<F>(fn)));
   }
   template <typename F>
   void schedule_after(Time dt, F&& fn) {
-    schedule(now_ + dt, std::forward<F>(fn));
+    schedule(now() + dt, std::forward<F>(fn));
   }
 
-  // Schedule a task resumption (Task internals only).
+  // Schedule into the partition owning `node` — the network's delivery
+  // path. From inside another partition's drain this buffers the event into
+  // the source outbox for the deterministic barrier merge.
   template <typename F>
-  void schedule_task_resume(Time t, F&& fn) {
-    check_not_past(t);
-    resumes_.push(t, next_seq_++, InlineFn(std::forward<F>(fn)));
+  void schedule_node(int node, Time t, F&& fn) {
+    schedule_impl(partition_of_node(node), t, /*is_resume=*/false,
+                  InlineFn(std::forward<F>(fn)));
   }
 
-  // Time of the event currently being processed (or last processed).
-  Time now() const { return now_; }
+  // Schedule a task resumption in partition `part` (Task internals only).
+  template <typename F>
+  void schedule_task_resume(int part, Time t, F&& fn) {
+    schedule_impl(part, t, /*is_resume=*/true, InlineFn(std::forward<F>(fn)));
+  }
+
+  // ---- Time queries ----
+
+  // Time of the event currently being processed in the calling partition
+  // (or the last committed global time outside a drain).
+  Time now() const {
+    const Partition* cur = current_partition();
+    return cur != nullptr ? cur->now : now_;
+  }
 
   // Timestamp of the earliest pending ordinary event, or kTimeInfinity.
-  // Safe to call from a running task: while a task runs, the engine is
-  // blocked and cannot pop events.
+  // Inside a drain this reports the calling partition's queue — the only
+  // events a running task must not overtake; cross-partition events are
+  // bounded by window_end() instead. Safe to call from a running task:
+  // while a task runs, its partition's engine loop is blocked.
   Time next_event_time() const {
-    return events_.empty() ? kTimeInfinity : events_.top_time();
+    const Partition* cur = current_partition();
+    if (cur != nullptr)
+      return cur->events.empty() ? kTimeInfinity : cur->events.top_time();
+    Time t = kTimeInfinity;
+    for (const Partition& p : parts_)
+      if (!p.events.empty() && p.events.top_time() < t)
+        t = p.events.top_time();
+    return t;
   }
 
   // Timestamp of the earliest pending task resume, or kTimeInfinity.
   Time next_resume_time() const {
-    return resumes_.empty() ? kTimeInfinity : resumes_.top_time();
+    const Partition* cur = current_partition();
+    if (cur != nullptr)
+      return cur->resumes.empty() ? kTimeInfinity : cur->resumes.top_time();
+    Time t = kTimeInfinity;
+    for (const Partition& p : parts_)
+      if (!p.resumes.empty() && p.resumes.top_time() < t)
+        t = p.resumes.top_time();
+    return t;
+  }
+
+  // Index of the partition whose event is executing on the calling thread
+  // (0 outside a drain). Lets per-cluster facilities (the payload pool)
+  // shard their state per partition without plumbing a node id through
+  // every call site.
+  int current_partition_id() const { return current_partition_index(); }
+
+  // Current window boundary: no task in a windowed run may advance its
+  // clock past this (cross-partition events merged at the barrier may land
+  // exactly here). Infinity outside windowed runs.
+  Time window_end() const {
+    return windowed_running_ ? window_end_ : kTimeInfinity;
   }
 
   // Minimum cross-task influence latency (see file comment). Must be >= 2 to
@@ -117,7 +230,7 @@ class Engine {
   void set_lookahead(Time la);
   Time lookahead() const { return lookahead_; }
 
-  // Run the event loop until both queues are empty. Throws if registered
+  // Run the event loop until all partitions drain. Throws if registered
   // tasks are still blocked when the queues drain (deadlock), or StallError
   // if the watchdog detects a virtual-time stall (see set_watchdog).
   // Reusable: the running flag is released on every exit path (including
@@ -129,7 +242,9 @@ class Engine {
   // With stall_ns > 0, the run loop fails with StallError whenever event
   // time moves stall_ns past the last compute-task resume while unfinished
   // tasks remain — i.e. handlers/timers keep firing (retransmissions) but no
-  // task makes progress. 0 disables the watchdog (the default).
+  // task makes progress. 0 disables the watchdog (the default). Windowed
+  // runs check at window granularity (S - last progress), which bounds the
+  // detection delay by one window and keeps the check deterministic.
   void set_watchdog(Time stall_ns) { watchdog_ns_ = stall_ns; }
 
   // Extra diagnostic context appended to every stall report (the cluster
@@ -140,7 +255,10 @@ class Engine {
 
   // Compose `reason` + blocked-task dump + reporter context and throw
   // StallError. Also the failure entry point for the reliable channel's
-  // retry-budget exhaustion.
+  // retry-budget exhaustion. Inside a windowed drain the composition is
+  // deferred: the reason unwinds the partition, the window completes on the
+  // other partitions, and the coordinator composes the full report
+  // single-threaded at the barrier (identical text at any --sim-threads).
   [[noreturn]] void fail_stall(const std::string& reason) const;
 
   // One line per live task: name, node id, and what it is waiting on.
@@ -149,41 +267,143 @@ class Engine {
   // True while any registered task has not run to completion. The reliable
   // channel uses this to distinguish a real stall (work remains) from
   // transport cleanup after the program finished (a lost final ack is moot).
-  bool any_task_unfinished() const;
+  // During a windowed run this returns the barrier-published snapshot (at
+  // most one window stale) so mid-window callers on any worker observe the
+  // same deterministic value at any --sim-threads.
+  bool any_task_unfinished() const {
+    if (windowed_running_) return !tasks_done_snapshot_;
+    return any_task_unfinished_raw();
+  }
 
   // Task registration (used by sim::Task's constructor/destructor).
   void register_task(Task* t);
   void unregister_task(Task* t);
 
-  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t events_processed() const {
+    std::uint64_t n = 0;
+    for (const Partition& p : parts_) n += p.events_processed;
+    return n;
+  }
 
   // Allocation accounting for the perf-regression tests: how many times the
-  // two event slabs grew. Flat across iterations once a run reaches steady
+  // event slabs grew. Flat across iterations once a run reaches steady
   // state (records are recycled through the free lists).
   std::uint64_t event_slab_grows() const {
-    return events_.slab_grows() + resumes_.slab_grows();
+    std::uint64_t n = 0;
+    for (const Partition& p : parts_)
+      n += p.events.slab_grows() + p.resumes.slab_grows();
+    return n;
   }
+
+  // Test hook: start every partition's sequence counter at `base`, to
+  // exercise ordering and the barrier merge near the top of the 64-bit
+  // space (the seq-wraparound regression test). Traffic must not have
+  // started yet.
+  void set_seq_base(std::uint64_t base);
 
  private:
   friend class Task;
 
-  void check_not_past(Time t) const {
-    FGDSM_ASSERT_MSG(t >= now_, "event scheduled in the past: " << t << " < "
-                                                                << now_);
-  }
-  // True if a's front event should run before b's (global time,seq order).
-  static bool front_precedes(const EventQueue& a, const EventQueue& b);
-  void check_deadlock() const;
+  // A cross-partition event buffered during a window, merged at the
+  // barrier. src_seq was drawn from the SOURCE partition's counter (it is
+  // the deterministic merge key); on insertion the destination assigns a
+  // fresh seq so per-queue seqs stay monotone in insertion order.
+  struct CrossEvent {
+    int dst_part;
+    Time t;
+    std::uint64_t src_seq;
+    std::uint32_t src_part;
+    bool is_resume;
+    InlineFn fn;
+  };
 
-  EventQueue events_;   // ordinary (handler) events
-  EventQueue resumes_;  // task-resume events
+  // One event partition. alignas(64) keeps concurrently drained partitions
+  // off each other's cache lines.
+  struct alignas(64) Partition {
+    EventQueue events;   // ordinary (handler) events
+    EventQueue resumes;  // task-resume events
+    std::uint64_t next_seq = 0;
+    std::uint64_t events_processed = 0;
+    Time now = 0;
+    Time last_progress = 0;  // event time of the latest task resume
+    std::vector<CrossEvent> outbox;
+    // First failure inside this partition's current window (composed and
+    // rethrown by the coordinator; lowest partition id wins).
+    std::exception_ptr error;
+    std::string stall_reason;
+    bool stalled = false;
+    int index = 0;
+
+    Time front_time() const;
+  };
+
+  // The partition whose event is executing on THIS host thread (null when
+  // no drain is active here). Thread-local so concurrent workers — and
+  // independent engines on batch threads — never alias.
+  static const Engine*& tls_engine() {
+    static thread_local const Engine* e = nullptr;
+    return e;
+  }
+  static Partition*& tls_partition() {
+    static thread_local Partition* p = nullptr;
+    return p;
+  }
+  const Partition* current_partition() const {
+    return tls_engine() == this ? tls_partition() : nullptr;
+  }
+  int current_partition_index() const {
+    const Partition* cur = current_partition();
+    return cur != nullptr ? cur->index : 0;
+  }
+
+  // Hot path: insert into the target partition, or — when called from
+  // another partition's drain — buffer into the source outbox for the
+  // barrier merge, stamped with the SOURCE partition's sequence number (the
+  // deterministic merge key).
+  void schedule_impl(int part, Time t, bool is_resume, InlineFn fn) {
+    FGDSM_ASSERT_MSG(part >= 0 && part < static_cast<int>(parts_.size()),
+                     "partition " << part << " out of range");
+    Partition* cur = tls_engine() == this ? tls_partition() : nullptr;
+    if (cur != nullptr && part != cur->index) {
+      FGDSM_ASSERT_MSG(t >= cur->now,
+                       "cross-partition event scheduled in the past: t=" << t
+                           << " < now=" << cur->now);
+      cur->outbox.push_back(CrossEvent{part, t, cur->next_seq++,
+                                       static_cast<std::uint32_t>(cur->index),
+                                       is_resume, std::move(fn)});
+      return;
+    }
+    Partition& p =
+        cur != nullptr ? *cur : parts_[static_cast<std::size_t>(part)];
+    FGDSM_ASSERT_MSG(t >= p.now, "event scheduled in the past: t="
+                                     << t << " < now=" << p.now);
+    (is_resume ? p.resumes : p.events).push(t, p.next_seq++, std::move(fn));
+  }
+
+  // True if a's front event should run before b's ((time, seq) order).
+  static bool front_precedes(const EventQueue& a, const EventQueue& b);
+
+  void run_single();    // historical path: one partition, no windows
+  void run_windowed();  // conservative synchronous-window PDES
+  void drain_partition(Partition& p, Time wend);
+  void merge_cross(std::vector<CrossEvent>& scratch);
+  void throw_partition_error();
+  bool any_task_unfinished_raw() const;
+  void check_deadlock() const;
+  [[noreturn]] void compose_and_throw_stall(const std::string& reason) const;
+
+  std::vector<Partition> parts_;
   Time lookahead_ = 1000;  // conservative default; cluster overrides
-  Time watchdog_ns_ = 0;   // 0 = watchdog off
-  Time last_progress_ = 0;  // event time of the latest task resume
+  Time window_lookahead_ = 0;  // 0 = fall back to lookahead_
+  int sim_threads_ = 1;
+  Time watchdog_ns_ = 0;  // 0 = watchdog off
   std::function<std::string()> stall_reporter_;
-  Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t events_processed_ = 0;
+  Time now_ = 0;  // committed global time (outside any drain)
+  // Window state: written by the coordinator between barriers, read by
+  // workers during the window (the barrier provides the ordering).
+  Time window_end_ = kTimeInfinity;
+  bool windowed_running_ = false;
+  bool tasks_done_snapshot_ = false;
   std::vector<Task*> tasks_;
   bool running_ = false;
 };

@@ -6,10 +6,14 @@
 // delivery: sink + Message + arrival), plus a const_cast move out of
 // priority_queue::top() (UB per [basic.life]). This header replaces both:
 //
-//   InlineFn    a move-only callable with a 128-byte inline buffer, sized so
+//   BasicInlineFn<Sig>
+//               a move-only callable with a 128-byte inline buffer, sized so
 //               a whole sim::Message rides inside the event record. Oversized
 //               callables still work (heap-boxed) but are counted, so tests
-//               can assert the hot path never boxes.
+//               can assert the hot path never boxes. Parameterized on the
+//               call signature: the engine stores InlineFn (= void()), and
+//               sim::Task stores its body as TaskFn (= void(Task&)) so task
+//               construction doesn't pay std::function's allocation either.
 //   EventQueue  a slab of event records recycled through a free list, with a
 //               binary min-heap of record indices keyed on (time, seq). The
 //               key is a total order (seq is unique), so pop order is
@@ -17,9 +21,10 @@
 //               and pops allocate nothing; slab growth is counted
 //               (slab_grows) for the zero-allocation regression tests.
 //
-// Reentrancy: all state is per-instance; the only static is InlineFn's
-// thread_local boxed-callable counter (diagnostic only), which keeps the
-// engine's one-simulation-per-thread invariant (see engine.h).
+// Reentrancy: all state is per-instance; the only static is BasicInlineFn's
+// thread_local boxed-callable counter (diagnostic only), which is per host
+// thread and so composes with the partitioned engine's worker crew (each
+// worker counts its own boxing; see engine.h).
 #pragma once
 
 #include <cstddef>
@@ -34,18 +39,22 @@
 
 namespace fgdsm::sim {
 
-class InlineFn {
+template <typename Sig>
+class BasicInlineFn;
+
+template <typename R, typename... Args>
+class BasicInlineFn<R(Args...)> {
  public:
   // Large enough for a delivery closure: sink pointer + sim::Message +
   // arrival time. Raising it trades slab memory for inlining more captures.
   static constexpr std::size_t kCapacity = 128;
 
-  InlineFn() = default;
+  BasicInlineFn() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::remove_cvref_t<F>, InlineFn>>>
-  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::remove_cvref_t<F>, BasicInlineFn>>>
+  BasicInlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
     using D = std::remove_cvref_t<F>;
     if constexpr (sizeof(D) <= kCapacity &&
                   alignof(D) <= alignof(std::max_align_t) &&
@@ -61,11 +70,11 @@ class InlineFn {
     }
   }
 
-  InlineFn(InlineFn&& o) noexcept : ops_(o.ops_) {
+  BasicInlineFn(BasicInlineFn&& o) noexcept : ops_(o.ops_) {
     if (ops_ != nullptr) ops_->relocate(o.buf_, buf_);
     o.ops_ = nullptr;
   }
-  InlineFn& operator=(InlineFn&& o) noexcept {
+  BasicInlineFn& operator=(BasicInlineFn&& o) noexcept {
     if (this != &o) {
       reset();
       ops_ = o.ops_;
@@ -74,13 +83,13 @@ class InlineFn {
     }
     return *this;
   }
-  InlineFn(const InlineFn&) = delete;
-  InlineFn& operator=(const InlineFn&) = delete;
-  ~InlineFn() { reset(); }
+  BasicInlineFn(const BasicInlineFn&) = delete;
+  BasicInlineFn& operator=(const BasicInlineFn&) = delete;
+  ~BasicInlineFn() { reset(); }
 
-  void operator()() {
+  R operator()(Args... args) {
     FGDSM_DCHECK(ops_ != nullptr);
-    ops_->invoke(buf_);
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
   }
   explicit operator bool() const { return ops_ != nullptr; }
 
@@ -93,11 +102,11 @@ class InlineFn {
 
   // Callables that did not fit inline on this thread (diagnostic; the
   // engine hot path is expected to keep this flat).
-  static thread_local std::uint64_t boxed_count;
+  inline static thread_local std::uint64_t boxed_count = 0;
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     void (*relocate)(void* from, void* to) noexcept;
     void (*destroy)(void*) noexcept;
   };
@@ -105,7 +114,10 @@ class InlineFn {
   template <typename D>
   static const Ops* inline_ops() {
     static constexpr Ops ops = {
-        [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+        [](void* p, Args&&... args) -> R {
+          return (*std::launder(reinterpret_cast<D*>(p)))(
+              std::forward<Args>(args)...);
+        },
         [](void* from, void* to) noexcept {
           D* src = std::launder(reinterpret_cast<D*>(from));
           ::new (to) D(std::move(*src));
@@ -118,7 +130,10 @@ class InlineFn {
   template <typename D>
   static const Ops* boxed_ops() {
     static constexpr Ops ops = {
-        [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+        [](void* p, Args&&... args) -> R {
+          return (**std::launder(reinterpret_cast<D**>(p)))(
+              std::forward<Args>(args)...);
+        },
         [](void* from, void* to) noexcept {
           ::new (to) D*(*std::launder(reinterpret_cast<D**>(from)));
         },
@@ -131,7 +146,8 @@ class InlineFn {
   const Ops* ops_ = nullptr;
 };
 
-inline thread_local std::uint64_t InlineFn::boxed_count = 0;
+// The engine's event callable — the common case.
+using InlineFn = BasicInlineFn<void()>;
 
 // Min-heap of pooled event records ordered by (t, seq).
 class EventQueue {

@@ -1,0 +1,73 @@
+// Process-wide host-core token pool, shared by every consumer of host-level
+// parallelism: exec::BatchRunner draws tokens for its batch worker threads
+// and Engine::run draws tokens for its simulation worker crew, so
+// --jobs × --sim-threads never oversubscribes the machine. Each running
+// thread of work holds one token; the calling thread's own token is
+// implicit, so acquire() only hands out tokens for EXTRA threads and may
+// grant fewer than requested (down to zero) when the budget is spent.
+//
+// Grants affect wall-clock time only, never simulated results — this pool is
+// the one documented exception to the engine's "no simulation result depends
+// on process-global mutable state" rule (src/sim/engine.h).
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace fgdsm::sim {
+
+class HostBudget {
+ public:
+  static HostBudget& instance() {
+    static HostBudget pool;
+    return pool;
+  }
+
+  // Take up to `want` extra-thread tokens. Returns the number granted, in
+  // [0, want]; never blocks.
+  int acquire(int want) {
+    if (want <= 0) return 0;
+    int avail = available_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (avail <= 0) return 0;
+      const int take = want < avail ? want : avail;
+      if (available_.compare_exchange_weak(avail, avail - take,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+        return take;
+    }
+  }
+
+  void release(int n) {
+    if (n > 0) available_.fetch_add(n, std::memory_order_acq_rel);
+  }
+
+  int total() const { return total_; }
+
+  // Test hook: pretend the host has n cores. Resets the pool, so callers
+  // must hold no outstanding tokens.
+  void set_total_for_test(int n) {
+    total_ = n < 1 ? 1 : n;
+    available_.store(total_ - 1, std::memory_order_release);
+  }
+
+ private:
+  HostBudget() {
+    int n = static_cast<int>(std::thread::hardware_concurrency());
+    // Deliberate override for tests/CI on small runners (and for users who
+    // want to cap the footprint): thread counts change wall time only.
+    if (const char* env = std::getenv("FGDSM_HOST_CORES")) {
+      const int v = std::atoi(env);
+      if (v > 0) n = v;
+    }
+    if (n < 1) n = 1;
+    total_ = n;
+    available_.store(n - 1, std::memory_order_relaxed);
+  }
+
+  int total_ = 1;
+  std::atomic<int> available_{0};
+};
+
+}  // namespace fgdsm::sim

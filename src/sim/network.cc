@@ -16,7 +16,13 @@ static_assert(sizeof(Message) + sizeof(void*) + sizeof(Time) <=
               "shrink Message or raise InlineFn::kCapacity");
 
 Network::Network(Engine& engine, const CostModel& costs, int nnodes)
-    : engine_(engine), costs_(costs), tx_(nnodes), deliver_(nnodes) {}
+    : engine_(engine),
+      costs_(costs),
+      tx_(nnodes),
+      deliver_(nnodes),
+      counters_(nnodes) {}
+
+Time Network::min_link_latency() const { return costs_.wire_latency; }
 
 void Network::attach(int node, DeliverFn deliver) {
   FGDSM_ASSERT(node >= 0 && node < static_cast<int>(deliver_.size()));
@@ -32,8 +38,9 @@ Time Network::send(Time earliest, Message msg) {
   FGDSM_ASSERT_MSG(msg.dst >= 0 && msg.dst < static_cast<int>(tx_.size()),
                    "bad destination " << msg.dst);
   const std::int64_t bytes = msg.size_bytes(costs_.msg_header_bytes);
-  ++total_messages_;
-  total_bytes_ += static_cast<std::uint64_t>(bytes);
+  TxCounters& acct = counters_[msg.src];
+  ++acct.messages;
+  acct.bytes += static_cast<std::uint64_t>(bytes);
 
   // Sender-side: serialization onto the wire occupies the transmit path.
   // (Message composition cpu time is charged by the caller.)
@@ -58,20 +65,25 @@ Time Network::send(Time earliest, Message msg) {
 
   // The message rides inside the event record itself (InlineFn's buffer is
   // sized for exactly this closure), so delivery costs no heap allocation.
-  DeliverFn& sink = deliver_[msg.dst];
-  FGDSM_ASSERT_MSG(sink, "no delivery sink attached for node " << msg.dst);
+  // Delivery is scheduled into the DESTINATION node's partition: from the
+  // sender's drain this buffers into the outbox for the deterministic
+  // barrier merge (arrival >= window end, by the wire-latency lookahead).
+  const int dst = msg.dst;
+  DeliverFn& sink = deliver_[dst];
+  FGDSM_ASSERT_MSG(sink, "no delivery sink attached for node " << dst);
   if (verdict.duplicate) {
     // A second, independent copy arrives later; the channel's duplicate
     // suppression discards whichever copy loses the race.
     const Time dup_arrival = arrival + verdict.dup_delay;
-    engine_.schedule(dup_arrival,
-                     [&sink, m = Message(msg), dup_arrival]() mutable {
-                       sink(std::move(m), dup_arrival);
-                     });
+    engine_.schedule_node(dst, dup_arrival,
+                          [&sink, m = Message(msg), dup_arrival]() mutable {
+                            sink(std::move(m), dup_arrival);
+                          });
   }
-  engine_.schedule(arrival, [&sink, m = std::move(msg), arrival]() mutable {
-    sink(std::move(m), arrival);
-  });
+  engine_.schedule_node(dst, arrival,
+                        [&sink, m = std::move(msg), arrival]() mutable {
+                          sink(std::move(m), arrival);
+                        });
   return inject_end;
 }
 

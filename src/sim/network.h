@@ -107,17 +107,38 @@ class Network {
   // Serialization-only cost (no send overhead), for cost queries.
   Time tx_time(std::int64_t payload_bytes) const;
 
-  std::uint64_t total_messages() const { return total_messages_; }
-  std::uint64_t total_bytes() const { return total_bytes_; }
+  // Lower bound on the latency of any cross-node message: the wire latency
+  // (injection/serialization only add). This is the engine's safe window
+  // lookahead for conservative synchronous-window PDES — nothing one node
+  // does can be observed by another sooner than this.
+  Time min_link_latency() const;
+
+  std::uint64_t total_messages() const {
+    std::uint64_t n = 0;
+    for (const TxCounters& c : counters_) n += c.messages;
+    return n;
+  }
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const TxCounters& c : counters_) n += c.bytes;
+    return n;
+  }
 
  private:
+  // Send-side accounting, sharded per source node so concurrently drained
+  // partitions never write the same counter (send always runs in the source
+  // node's partition). Padded off shared cache lines.
+  struct alignas(64) TxCounters {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
   Engine& engine_;
   const CostModel& costs_;
   std::vector<Resource> tx_;  // one transmit resource per node
   std::vector<DeliverFn> deliver_;
   FaultInjector* fault_ = nullptr;
-  std::uint64_t total_messages_ = 0;
-  std::uint64_t total_bytes_ = 0;
+  std::vector<TxCounters> counters_;  // indexed by msg.src
 };
 
 }  // namespace fgdsm::sim

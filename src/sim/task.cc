@@ -8,15 +8,16 @@ namespace fgdsm::sim {
 
 namespace {
 // Hand-off slot for fiber entry: makecontext cannot portably pass pointers.
-// One simulation runs entirely on one host thread, but independent
-// simulations may run concurrently on different threads (exec::BatchRunner),
-// so the slot must be thread-local — it is the only cross-object state in
-// the whole sim layer.
+// The slot is per host thread (thread_local), which makes it per WORKER in a
+// windowed run: the engine statically pins each partition — and so each of
+// its tasks — to one worker thread, so a fiber always enters and leaves on
+// the thread whose slot carried it. Independent simulations on other threads
+// (exec::BatchRunner) get their own slots the same way.
 thread_local Task* g_entering_task = nullptr;
 constexpr std::size_t kStackBytes = 512 * 1024;
 }  // namespace
 
-Task::Task(Engine& engine, std::string name, std::function<void(Task&)> body)
+Task::Task(Engine& engine, std::string name, TaskFn body)
     : engine_(engine),
       name_(std::move(name)),
       body_(std::move(body)),
@@ -40,7 +41,7 @@ void Task::start(Time t) {
   started_ = true;
   clock_ = t;
   state_ = State::kReady;
-  engine_.schedule_task_resume(t, [this] { resume_for_engine(); });
+  engine_.schedule_task_resume(partition_, t, [this] { resume_for_engine(); });
 }
 
 void Task::trampoline_entry() {
@@ -105,7 +106,8 @@ void Task::absorb_cpu_steal() {
 
 void Task::yield_here() {
   state_ = State::kReady;
-  engine_.schedule_task_resume(clock_, [this] { resume_for_engine(); });
+  engine_.schedule_task_resume(partition_, clock_,
+                               [this] { resume_for_engine(); });
   switch_to_engine();
   absorb_cpu_steal();
 }
@@ -120,13 +122,18 @@ Time Task::advance_limit() const {
   // We may never pass a pending ordinary event (its handler can mutate state
   // we observe), and may run ahead of another task's pending resume only by
   // strictly less than the engine lookahead (that task's future actions
-  // cannot affect us sooner than resume + lookahead).
+  // cannot affect us sooner than resume + lookahead). In a windowed run the
+  // window boundary additionally caps the clock: events from other
+  // partitions may land exactly at W, and the queries above only see this
+  // partition's queues.
   const Time ev = engine_.next_event_time();
   const Time rs = engine_.next_resume_time();
   const Time rs_limit = rs >= kTimeInfinity - engine_.lookahead()
                             ? kTimeInfinity
                             : rs + engine_.lookahead() - 1;
-  return ev < rs_limit ? ev : rs_limit;
+  const Time local = ev < rs_limit ? ev : rs_limit;
+  const Time wend = engine_.window_end();
+  return local < wend ? local : wend;
 }
 
 void Task::charge(Time dt) {
@@ -149,9 +156,13 @@ void Task::charge(Time dt) {
 
 void Task::sync() {
   // Process every ordinary event <= now, and let any task that could still
-  // produce such an event (pending resume <= now - lookahead) run first.
+  // produce such an event (pending resume <= now - lookahead) run first. In
+  // a windowed run a clock at/past the boundary also yields: events from
+  // other partitions merged at the barrier may still land at <= now, and
+  // they become visible locally only once the window advances.
   while (engine_.next_event_time() <= clock_ ||
-         engine_.next_resume_time() <= clock_ - engine_.lookahead())
+         engine_.next_resume_time() <= clock_ - engine_.lookahead() ||
+         engine_.window_end() <= clock_)
     yield_here();
   if (cpu_ != nullptr) cpu_->set_available(clock_);
 }
@@ -168,7 +179,7 @@ void Task::wake(Time t) {
   // Called from engine/handler context. The task must be blocked or about
   // to block; schedule a resume no earlier than t.
   pending_wake_time_ = t > clock_ ? t : clock_;
-  engine_.schedule_task_resume(pending_wake_time_,
+  engine_.schedule_task_resume(partition_, pending_wake_time_,
                                [this] { resume_for_engine(); });
 }
 

@@ -2,11 +2,14 @@
 // processor) with its own virtual clock.
 //
 // Implementation: each Task runs its body on a ucontext fiber. Exactly one
-// of {engine, one task} executes at any host instant (single host thread),
-// so the whole simulation is deterministic and data-race-free by
-// construction, and a baton pass costs a userspace swapcontext (~1 us)
-// rather than a kernel context switch — essential on small hosts, where a
-// full experiment run performs millions of switches.
+// of {the partition's engine loop, one of its tasks} executes at any host
+// instant: a task belongs to one event partition (set_partition), windowed
+// runs pin each partition to one worker thread for the whole run, and the
+// fiber hand-off slot is thread-local — so the fiber never migrates between
+// host threads and the simulation stays deterministic and data-race-free by
+// construction. A baton pass costs a userspace swapcontext (~1 us) rather
+// than a kernel context switch — essential on small hosts, where a full
+// experiment run performs millions of switches.
 //
 // Clock discipline: a running task's clock only moves forward through
 // charge(), and charge() yields to the engine whenever the advance would
@@ -30,8 +33,13 @@ namespace fgdsm::sim {
 
 class Task {
  public:
+  // Pooled callable for the task body: any callable whose captures fit the
+  // inline buffer is stored without a heap allocation (unlike
+  // std::function), which matters for runs constructing thousands of tasks.
+  using TaskFn = BasicInlineFn<void(Task&)>;
+
   // `body` runs on the task's fiber once start() is scheduled.
-  Task(Engine& engine, std::string name, std::function<void(Task&)> body);
+  Task(Engine& engine, std::string name, TaskFn body);
   Task(const Task&) = delete;
   Task& operator=(const Task&) = delete;
   ~Task();
@@ -70,6 +78,12 @@ class Task {
   Resource* cpu() const { return cpu_; }
   void set_steal_counter(std::int64_t* c) { steal_counter_ = c; }
 
+  // The event partition this task's resumes are scheduled into (the cluster
+  // maps node i to partition i; default 0 covers single-partition engines).
+  // Must be set before start().
+  void set_partition(int p) { partition_ = p; }
+  int partition() const { return partition_; }
+
   // Diagnostic context for deadlock/stall dumps: the cluster node this task
   // computes for (-1 = not a node task) and what the task is currently
   // waiting on (a static string set by Semaphore::wait; null = not waiting).
@@ -107,10 +121,11 @@ class Task {
 
   Engine& engine_;
   std::string name_;
-  std::function<void(Task&)> body_;
+  TaskFn body_;
   Time clock_ = 0;
   Resource* cpu_ = nullptr;
   std::int64_t* steal_counter_ = nullptr;
+  int partition_ = 0;
   int node_id_ = -1;
   const char* wait_reason_ = nullptr;
 

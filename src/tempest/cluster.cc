@@ -17,8 +17,20 @@ std::size_t round_up(std::size_t v, std::size_t align) {
 }  // namespace
 
 Cluster::Cluster(ClusterConfig cfg)
-    : cfg_(cfg), net_(engine_, cfg_.costs, cfg.nnodes) {
+    : cfg_(cfg),
+      net_(engine_, cfg_.costs, cfg.nnodes),
+      pools_(static_cast<std::size_t>(cfg.nnodes)) {
   cfg_.validate();
+  // One event partition per node, ALWAYS — regardless of sim_threads — so
+  // window boundaries, sequence numbers, and merge order are identical at
+  // any thread count (the bit-identity contract). The worker count only
+  // changes which host thread drains a partition.
+  engine_.set_partitions(cfg_.nnodes);
+  engine_.set_window_lookahead(net_.min_link_latency());
+  // The tracer appends flow spans in drain order; keep that order
+  // deterministic by draining single-threaded when tracing. Results are
+  // unchanged (thread count never affects them).
+  engine_.set_sim_threads(cfg_.tracer != nullptr ? 1 : cfg_.sim_threads);
   if (cfg_.faults.enabled) {
     // Chaos mode: deterministic faults on the wire, reliable channel under
     // every node. Defaults derive from the cost model so the knobs scale
@@ -168,7 +180,7 @@ void Cluster::tree_reduce_step(int node, sim::Time t, const SendFn& send) {
     up.dst = tree_parent(node);
     up.type = static_cast<std::uint16_t>(MsgType::kReduceUp);
     up.arg[0] = std::bit_cast<std::int64_t>(partial);
-    up.arg[1] = tree_red_op;
+    up.arg[1] = tree_red_op[static_cast<std::size_t>(node)];
     send(std::move(up));
   }
 }
@@ -254,6 +266,7 @@ void Cluster::register_tree_handlers() {
   tree_partial.assign(static_cast<std::size_t>(cfg_.nnodes), 0.0);
   tree_red_arrived.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
   tree_red_self.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
+  tree_red_op.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
 
   register_handler(MsgType::kBarrierArrive,
                    [this](Node& self, sim::Message&, HandlerClock& clk) {
@@ -281,11 +294,11 @@ void Cluster::register_tree_handlers() {
       MsgType::kReduceUp,
       [this](Node& self, sim::Message& m, HandlerClock& clk) {
         const std::size_t id = static_cast<std::size_t>(self.id());
-        tree_red_op = static_cast<int>(m.arg[1]);
+        tree_red_op[id] = static_cast<int>(m.arg[1]);
         if (tree_red_arrived[id] == 0 && tree_red_self[id] == 0)
-          tree_partial[id] = reduce_identity(tree_red_op);
+          tree_partial[id] = reduce_identity(tree_red_op[id]);
         tree_partial[id] = reduce_combine(
-            tree_red_op, tree_partial[id], std::bit_cast<double>(m.arg[0]));
+            tree_red_op[id], tree_partial[id], std::bit_cast<double>(m.arg[0]));
         ++tree_red_arrived[id];
         tree_reduce_step(self.id(), clk.t, [&](sim::Message msg) {
           self.send_from_handler(clk, std::move(msg));
@@ -332,6 +345,7 @@ util::RunStats Cluster::run(
         engine_, "node" + std::to_string(i),
         [n, &program](sim::Task& t) { program(*n, t); }));
     sim::Task* t = tasks.back().get();
+    t->set_partition(i);  // node i's compute task lives in partition i
     t->set_cpu(&n->cpu_res());
     t->set_node_id(i);
     t->set_steal_counter(&n->stats.handler_steal_ns);

@@ -63,11 +63,16 @@ class Cluster {
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return net_; }
 
-  // Per-cluster payload recycler: protocol/runtime producers acquire block
-  // and chunk buffers here, and the handler dispatch returns them after the
-  // handler consumed the message — steady-state block transfers allocate
-  // nothing.
-  sim::BufferPool& payload_pool() { return pool_; }
+  // Payload recycler: protocol/runtime producers acquire block and chunk
+  // buffers here, and the handler dispatch returns them after the handler
+  // consumed the message — steady-state block transfers allocate nothing.
+  // Sharded per event partition (selected by the engine's drain context) so
+  // concurrently drained partitions never touch the same free list; a
+  // buffer released in one partition simply re-enters that partition's
+  // pool. Pool choice never affects simulated results.
+  sim::BufferPool& payload_pool() {
+    return pools_[static_cast<std::size_t>(engine_.current_partition_id())];
+  }
 
   // The one egress point for node traffic: routes through the reliable
   // channel in chaos mode, or straight to the network otherwise (same
@@ -96,7 +101,9 @@ class Cluster {
   std::vector<double> tree_partial;     // per node: partial reduction value
   std::vector<int> tree_red_arrived;    // reduction children heard
   std::vector<char> tree_red_self;      // own contribution made
-  int tree_red_op = 0;
+  // Per node (a single shared scalar would be written concurrently by every
+  // partition's reduction path under --sim-threads).
+  std::vector<int> tree_red_op;         // reduction op this round
 
   // Tree helpers (binary tree rooted at node 0).
   int tree_parent(int node) const { return (node - 1) / 2; }
@@ -130,7 +137,7 @@ class Cluster {
   ClusterConfig cfg_;
   sim::Engine engine_;
   sim::Network net_;
-  sim::BufferPool pool_;
+  std::vector<sim::BufferPool> pools_;  // one per event partition
   // Chaos mode only (both null when cfg_.faults is disabled, keeping the
   // fault-free path untouched).
   std::unique_ptr<sim::FaultInjector> fault_;

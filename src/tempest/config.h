@@ -39,6 +39,12 @@ struct ClusterConfig {
   // Progress watchdog (--watchdog-ns=N): fail with sim::StallError if no
   // compute task advances for N virtual ns while work remains. 0 = off.
   sim::Time watchdog_ns = 0;
+  // Worker threads for the engine's conservative synchronous-window
+  // parallel mode (--sim-threads=N). Bit-identical results at any value —
+  // the engine always partitions per node and only the draining thread
+  // assignment changes; the effective count is further clamped by the
+  // process-wide sim::HostBudget. 1 = drain all partitions on the caller.
+  int sim_threads = 1;
   sim::CostModel costs;
 
   void validate() const {

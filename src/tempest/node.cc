@@ -248,8 +248,7 @@ void Node::schedule_next_handler(sim::Time earliest) {
 
 void Node::execute_one_handler() {
   FGDSM_ASSERT(!inbox_.empty());
-  PendingMsg pm = std::move(inbox_.front());
-  inbox_.pop_front();
+  PendingMsg pm = inbox_.pop_front();
   // The protocol resource may have moved on (single-cpu: computation shares
   // it); acquire() starts the handler no earlier than now and no earlier
   // than the resource frees up.
@@ -322,7 +321,7 @@ double Node::allreduce(sim::Task& task, double v, ReduceOp op) {
   }
   if (cluster_.config().tree_collectives) {
     const std::size_t id = static_cast<std::size_t>(id_);
-    cluster_.tree_red_op = static_cast<int>(op);
+    cluster_.tree_red_op[id] = static_cast<int>(op);
     if (cluster_.tree_red_arrived[id] == 0 && cluster_.tree_red_self[id] == 0)
       cluster_.tree_partial[id] =
           Cluster::reduce_identity(static_cast<int>(op));

@@ -6,8 +6,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sim/network.h"
@@ -113,6 +113,34 @@ class Node {
     sim::Message msg;
     sim::Time arrival;
   };
+  // FIFO inbox as a power-of-two flat ring (the reliable channel's
+  // retained-copy ring pattern): slot for logical index i is i & mask, and
+  // steady-state push/pop touches no allocator — std::deque frees and
+  // reallocates a block every few messages as the front chases the back.
+  class InboxRing {
+   public:
+    bool empty() const { return head_ == tail_; }
+    PendingMsg& front() { return buf_[head_ & (buf_.size() - 1)]; }
+    void push_back(PendingMsg&& m) {
+      if (tail_ - head_ == buf_.size()) grow();
+      buf_[tail_++ & (buf_.size() - 1)] = std::move(m);
+    }
+    PendingMsg pop_front() { return std::move(buf_[head_++ & (buf_.size() - 1)]); }
+
+   private:
+    void grow() {
+      std::vector<PendingMsg> bigger(buf_.empty() ? 16 : buf_.size() * 2);
+      for (std::uint64_t i = head_; i != tail_; ++i)
+        bigger[(i - head_) & (bigger.size() - 1)] =
+            std::move(buf_[i & (buf_.size() - 1)]);
+      tail_ -= head_;
+      head_ = 0;
+      buf_ = std::move(bigger);
+    }
+    std::vector<PendingMsg> buf_;
+    std::uint64_t head_ = 0;  // logical index of front
+    std::uint64_t tail_ = 0;  // logical index one past back
+  };
   void schedule_next_handler(sim::Time earliest);
   void execute_one_handler();
 
@@ -124,7 +152,7 @@ class Node {
   sim::Resource cpu_res_;
   sim::Resource proto_res_;
   sim::Task* task_ = nullptr;
-  std::deque<PendingMsg> inbox_;
+  InboxRing inbox_;
   bool handler_active_ = false;
 };
 
