@@ -2,7 +2,12 @@
 // table/figure). Each binary accepts:
 //   --scale=<s>     problem-size scale factor (1.0 = the paper's Table 2
 //                   sizes; default 0.15 keeps a bare run quick; EXPERIMENTS.md records --scale=0.5 and --full runs)
-//   --nodes=<n>     cluster size (default 8, as in the paper)
+//   --nodes=<n>     cluster size (default 8, as in the paper; values
+//                   outside [1, tempest::kMaxNodes] are rejected)
+//   --collectives=<flat|binary|binomial|twolevel[:G]>  barrier/reduction
+//                   topology (default flat — the paper's centralized
+//                   coordinator; the tree shapes are the scaling ablation,
+//                   twolevel takes an optional group size G, 0 = auto)
 //   --block=<b>     coherence block size in bytes (default 128)
 //   --app=<name>    restrict to one application
 //   --jobs=<n>      host threads for independent runs (default 1; results
@@ -80,6 +85,10 @@ inline sim::Time g_watchdog_ns = 0;
 // --sim-threads=<n>: engine worker threads per simulation for every spec
 // built by make_spec (bit-identical results at any value).
 inline int g_sim_threads = 1;
+// --collectives=<topo>: barrier/reduction topology for every spec built by
+// make_spec (default flat, the paper's centralized coordinator).
+inline tempest::Collectives g_collectives = tempest::Collectives::kFlat;
+inline int g_collective_group = 0;
 
 struct BenchConfig {
   double scale = 0.15;
@@ -94,6 +103,8 @@ struct BenchConfig {
   sim::FaultConfig faults;     // --faults=<spec>; disabled by default
   sim::Time watchdog_ns = 0;   // --watchdog-ns=<n>; 0 = off
   int sim_threads = 1;         // --sim-threads=<n>; workers per simulation
+  tempest::Collectives collectives = tempest::Collectives::kFlat;
+  int collective_group = 0;    // twolevel fan-out; 0 = auto
 
   // `extra_known` declares harness-specific flags beyond the shared set
   // (strict mode rejects everything else).
@@ -105,12 +116,20 @@ struct BenchConfig {
         "scale", "nodes",     "block", "app",   "jobs",
         "plan-cache", "plan-cache-misses", "full", "json",  "trace",
         "per-loop", "check-coherence", "faults", "watchdog-ns",
-        "sim-threads"};
+        "sim-threads", "collectives"};
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     o.check_known(known);
     BenchConfig c;
     c.scale = o.get_double("scale", o.get_bool("full") ? 1.0 : 0.15);
     c.nodes = static_cast<int>(o.get_int("nodes", 8));
+    if (c.nodes < 1 || c.nodes > tempest::kMaxNodes) {
+      std::fprintf(stderr,
+                   "fgdsm: --nodes=%d is outside the supported range [1, %d] "
+                   "(index/bitmask arithmetic is only validated up to this "
+                   "size)\n",
+                   c.nodes, tempest::kMaxNodes);
+      std::exit(2);
+    }
     c.block = static_cast<std::size_t>(o.get_int("block", 128));
     c.jobs = static_cast<int>(o.get_int("jobs", 1));
     g_plan_cache = o.get_int("plan-cache", 1) != 0;
@@ -132,11 +151,25 @@ struct BenchConfig {
         std::exit(2);
       }
     }
+    if (o.has("collectives")) {
+      if (!tempest::parse_collectives(o.get("collectives"), &c.collectives,
+                                      &c.collective_group)) {
+        std::fprintf(stderr,
+                     "fgdsm: bad --collectives value '%s' (expected "
+                     "flat|binary|binomial|twolevel[:G])\n",
+                     o.get("collectives").c_str());
+        std::exit(2);
+      }
+    }
     // A fault run that wedges should diagnose itself, not hang CI: the
-    // watchdog defaults on (2e9 virtual ns — far past any legitimate
-    // barrier interval at these scales) whenever faults are enabled.
+    // watchdog defaults on whenever faults are enabled. The budget scales
+    // with node count and collective depth (2e9 virtual ns at the paper's
+    // 8 nodes — see tempest::default_watchdog_ns) so healthy large-cluster
+    // chaos runs don't false-trip exit 86.
     c.watchdog_ns = static_cast<sim::Time>(o.get_int(
-        "watchdog-ns", c.faults.enabled ? 2'000'000'000 : 0));
+        "watchdog-ns",
+        c.faults.enabled ? tempest::default_watchdog_ns(c.nodes, c.collectives)
+                         : 0));
     c.sim_threads = static_cast<int>(o.get_int("sim-threads", 1));
     if (c.sim_threads < 1) {
       std::fprintf(stderr, "fgdsm: --sim-threads must be >= 1\n");
@@ -146,6 +179,8 @@ struct BenchConfig {
     g_faults = c.faults;
     g_watchdog_ns = c.watchdog_ns;
     g_sim_threads = c.sim_threads;
+    g_collectives = c.collectives;
+    g_collective_group = c.collective_group;
     g_trace_path = c.trace_path;
     g_trace_assigned = false;
     return c;
@@ -175,6 +210,8 @@ inline exec::ExperimentSpec make_spec(const hpf::Program& prog,
   s.config.cluster.faults = g_faults;
   s.config.cluster.watchdog_ns = g_watchdog_ns;
   s.config.cluster.sim_threads = g_sim_threads;
+  s.config.cluster.collectives = g_collectives;
+  s.config.cluster.collective_group = g_collective_group;
   if (!g_trace_path.empty() && !g_trace_assigned) {
     s.config.trace_path = g_trace_path;
     g_trace_assigned = true;

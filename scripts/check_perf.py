@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the simulator self-benchmark.
+"""Perf-regression gate for the simulator self-benchmarks.
 
 Usage:
   scripts/check_perf.py CURRENT.json [--baseline BENCH_PERF.json]
                         [--tolerance 0.20] [--update] [--allocs-only]
 
-CURRENT.json is a fresh `bench_selfperf --json=...` run (fgdsm-selfperf-v1).
-The baseline (BENCH_PERF.json at the repo root, committed) records the
+CURRENT.json is a fresh run of either host-side harness:
+  - `bench_selfperf --json=...`      (schema fgdsm-selfperf-v1, baseline
+    BENCH_PERF.json, schema fgdsm-perf-baseline-v1), or
+  - `bench_scale --perf-json=...`    (schema fgdsm-scale-v1, baseline
+    BENCH_SCALE.json, schema fgdsm-scale-baseline-v1).
+Both emit the same per-workload shape (events / allocs_per_event /
+normalized_events_per_mop), so one gate serves both; the schema pair just
+has to match. The baseline (committed at the repo root) records the
 reference numbers this gate compares against.
 
 What is compared, per workload:
@@ -36,6 +42,13 @@ import json
 import sys
 
 
+# current schema -> the baseline schema it is gated against
+SCHEMA_PAIRS = {
+    "fgdsm-selfperf-v1": "fgdsm-perf-baseline-v1",
+    "fgdsm-scale-v1": "fgdsm-scale-baseline-v1",
+}
+
+
 def load(path):
     try:
         with open(path) as f:
@@ -58,14 +71,19 @@ def main():
     args = ap.parse_args()
 
     cur = load(args.current)
-    if cur.get("schema") != "fgdsm-selfperf-v1":
+    baseline_schema = SCHEMA_PAIRS.get(cur.get("schema"))
+    if baseline_schema is None:
         print(f"check_perf: {args.current}: unexpected schema "
-              f"{cur.get('schema')!r}", file=sys.stderr)
+              f"{cur.get('schema')!r} (expected one of "
+              f"{sorted(SCHEMA_PAIRS)})", file=sys.stderr)
         return 1
 
     if args.update:
-        base = load(args.baseline)
-        base["schema"] = "fgdsm-perf-baseline-v1"
+        try:
+            base = load(args.baseline)
+        except SystemExit:
+            base = {}  # first --update may create the baseline from scratch
+        base["schema"] = baseline_schema
         base["host"] = cur["host"]
         base["config"] = cur["config"]
         base["baseline"] = cur["workloads"]
@@ -77,9 +95,10 @@ def main():
         return 0
 
     base = load(args.baseline)
-    if base.get("schema") != "fgdsm-perf-baseline-v1":
+    if base.get("schema") != baseline_schema:
         print(f"check_perf: {args.baseline}: unexpected schema "
-              f"{base.get('schema')!r}", file=sys.stderr)
+              f"{base.get('schema')!r} (expected {baseline_schema!r} for a "
+              f"{cur.get('schema')!r} run)", file=sys.stderr)
         return 1
 
     tol = args.tolerance

@@ -17,6 +17,12 @@
 #                            (PERF_ALLOCS_ONLY=1 gates allocs/event only and
 #                            demotes throughput to an artifact trend — for
 #                            runners whose variance trips the 20% band)
+#   scripts/ci.sh scale      weak-scaling gate: a 64-node jacobi+spmv smoke
+#                            run (hierarchical collectives, schema-checked
+#                            JSON), then bench_scale's host-side numbers vs
+#                            the committed BENCH_SCALE.json baseline through
+#                            the same check_perf.py band (PERF_ALLOCS_ONLY=1
+#                            applies here too)
 #   scripts/ci.sh simthreads bit-identity matrix for the windowed PDES mode:
 #                            determinism suite + PDES unit tests, then
 #                            bench_table3 fault-free and under chaos at
@@ -130,6 +136,26 @@ case "$job" in
     python3 scripts/check_perf.py results/selfperf.json \
       --baseline BENCH_PERF.json --tolerance 0.20 $allocs_flag
     ;;
+  scale)
+    # Weak-scaling gate. First a correctness smoke at 64 nodes: jacobi +
+    # spmv with fixed work per node under the binomial collectives, JSON
+    # schema-validated like every other bench artifact. Then the host-side
+    # regression band: simulated event counts are exact, allocs/event is a
+    # hard cap (resident simulator state must keep growing with active
+    # links/touched pages, not nodes^2), normalized throughput gets the
+    # same 20% band as the perf job (or trend-only with PERF_ALLOCS_ONLY=1).
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "$@"
+    cmake --build build -j "$jobs" --target bench_scale
+    mkdir -p results
+    build/bench/bench_scale --nodes-list=64 --check-coherence \
+      --json=results/scale_smoke.json
+    python3 scripts/check_results_json.py results/scale_smoke.json
+    build/bench/bench_scale --reps=3 --perf-json=results/scale_perf.json
+    allocs_flag=""
+    [[ "${PERF_ALLOCS_ONLY:-0}" == "1" ]] && allocs_flag="--allocs-only"
+    python3 scripts/check_perf.py results/scale_perf.json \
+      --baseline BENCH_SCALE.json --tolerance 0.20 $allocs_flag
+    ;;
   simthreads)
     # Bit-identity matrix for conservative synchronous-window PDES: the same
     # simulation at --sim-threads=1 and --sim-threads=4 must produce byte-
@@ -179,7 +205,7 @@ case "$job" in
     ;;
   *)
     echo "unknown job '$job' (expected: verify | sanitize | chaos | perf |" \
-      "simthreads | tsan)" >&2
+      "scale | simthreads | tsan)" >&2
     exit 2
     ;;
 esac

@@ -219,12 +219,52 @@ void merge_into(std::vector<Transfer>& out, Transfer t) {
   }
   out.push_back(std::move(t));
 }
+// Ascending candidate senders for one piece: exactly the processors whose
+// owned_interval can intersect the piece's distributed (last) dimension.
+// The original code scanned every q in 0..np for every piece, which made
+// each plan build O(np^2) section intersections — at 256+ nodes that
+// dominated the harness (and each node builds its own plan, so the full
+// cluster paid O(np^3)). Block ownership is contiguous, so [owner(lo),
+// owner(hi)] is tight; cyclic ownership is j % np, so a piece shorter than
+// np enumerates its elements and a longer one covers every processor
+// anyway. Candidates come out ascending — the transfer list must stay in
+// the exact order the full scan produced (plans feed the simulation;
+// ordering is part of the bit-identity contract).
+void candidate_owners_into(DistKind kind, const ConcreteInterval& iv,
+                           std::int64_t n, int np, std::vector<int>& out) {
+  out.clear();
+  if (iv.empty()) return;
+  switch (kind) {
+    case DistKind::kBlock: {
+      // iv is already clipped to [0, n-1]; contiguous block ownership makes
+      // [owner(lo), owner(hi)] tight.
+      const int qlo = owner_of(kind, iv.lo, n, np);
+      const int qhi = owner_of(kind, iv.hi, n, np);
+      for (int q = qlo; q <= qhi; ++q) out.push_back(q);
+      return;
+    }
+    case DistKind::kCyclic: {
+      if (iv.count() >= np) {
+        for (int q = 0; q < np; ++q) out.push_back(q);
+        return;
+      }
+      for (std::int64_t j = iv.lo; j <= iv.hi; j += iv.stride)
+        out.push_back(static_cast<int>(j % np));
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return;
+    }
+    case DistKind::kReplicated:
+      return;
+  }
+}
 }  // namespace
 
 std::vector<Transfer> analyze_transfers(const ParallelLoop& loop,
                                         const Program& prog,
                                         const Bindings& b, int np) {
   std::vector<Transfer> out;
+  std::vector<int> owners;  // scratch, reused across pieces
   auto process = [&](const ArrayRef& ref, bool for_write) {
     const ArrayDecl& a = prog.array(ref.array);
     if (a.dist == DistKind::kReplicated) {
@@ -249,7 +289,9 @@ std::vector<Transfer> analyze_transfers(const ParallelLoop& loop,
       const ConcreteSet nonowner =
           ConcreteSet(sec).subtract(owned_section(a, b, np, p));
       for (const auto& piece : nonowner.pieces()) {
-        for (int q = 0; q < np; ++q) {
+        candidate_owners_into(a.dist, piece.dims.back().normalized(),
+                              ext.back(), np, owners);
+        for (const int q : owners) {
           if (q == p) continue;
           const ConcreteSet part =
               ConcreteSet(piece).intersect(owned_section(a, b, np, q));

@@ -1,0 +1,95 @@
+// Sharer set for one directory entry.
+//
+// The original directory kept sharers in a raw 64-bit bitmask, hard-limiting
+// the cluster to 64 nodes. This type keeps that representation as the inline
+// fast path — nodes 0–63 live in one word, no heap, identical operations —
+// and spills nodes >= 64 into a lazily allocated vector of additional 64-bit
+// words sized only as high as the largest member ever added. A 1024-node
+// cluster therefore pays extra memory only for directory entries whose
+// blocks are actually shared above node 63 (page-granular homing makes most
+// sharer sets small and low-numbered).
+//
+// Iteration (for_each) visits members in ascending node order — the
+// invalidation fan-out loops over this, and ascending order is part of the
+// simulator's bit-identity contract (the old code scanned n = 0..nnodes).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace fgdsm::proto {
+
+class SharerSet {
+ public:
+  void add(int n) {
+    if (n < 64) {
+      lo_ |= std::uint64_t{1} << n;
+      return;
+    }
+    const std::size_t w = word(n);
+    if (w >= hi_.size()) hi_.resize(w + 1, 0);
+    hi_[w] |= mask(n);
+  }
+
+  void remove(int n) {
+    if (n < 64) {
+      lo_ &= ~(std::uint64_t{1} << n);
+      return;
+    }
+    const std::size_t w = word(n);
+    if (w < hi_.size()) hi_[w] &= ~mask(n);
+  }
+
+  bool contains(int n) const {
+    if (n < 64) return (lo_ >> n) & 1;
+    const std::size_t w = word(n);
+    return w < hi_.size() && (hi_[w] & mask(n)) != 0;
+  }
+
+  // Drops membership but keeps the spill capacity — a directory entry that
+  // once went wide will likely go wide again.
+  void clear() {
+    lo_ = 0;
+    for (std::uint64_t& w : hi_) w = 0;
+  }
+
+  int count() const {
+    int c = std::popcount(lo_);
+    for (std::uint64_t w : hi_) c += std::popcount(w);
+    return c;
+  }
+
+  bool empty() const {
+    if (lo_ != 0) return false;
+    for (std::uint64_t w : hi_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  // The inline word (nodes 0–63) — snapshot/logging compatibility.
+  std::uint64_t low64() const { return lo_; }
+
+  // Visit members in ascending node order.
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::uint64_t w = lo_; w != 0; w &= w - 1)
+      f(std::countr_zero(w));
+    for (std::size_t i = 0; i < hi_.size(); ++i)
+      for (std::uint64_t w = hi_[i]; w != 0; w &= w - 1)
+        f(static_cast<int>(64 * (i + 1)) + std::countr_zero(w));
+  }
+
+ private:
+  static std::size_t word(int n) {
+    return static_cast<std::size_t>(n) / 64 - 1;
+  }
+  static std::uint64_t mask(int n) {
+    return std::uint64_t{1} << (static_cast<std::size_t>(n) % 64);
+  }
+
+  std::uint64_t lo_ = 0;               // nodes 0–63 (the paper-scale path)
+  std::vector<std::uint64_t> hi_;      // nodes 64+; allocated on first use
+};
+
+}  // namespace fgdsm::proto

@@ -10,16 +10,14 @@
 
 namespace fgdsm::proto {
 
-namespace {
-int popcount(std::uint64_t v) { return std::popcount(v); }
-}  // namespace
-
 Stache::Stache(tempest::Cluster& cluster)
     : cluster_(cluster),
       dir_(static_cast<std::size_t>(cluster.nnodes())),
       nodes_(static_cast<std::size_t>(cluster.nnodes())),
       ccc_open_(static_cast<std::size_t>(cluster.nnodes())) {
-  FGDSM_ASSERT_MSG(cluster.nnodes() <= 64, "sharer bitmask is 64 bits");
+  // Sharer sets spill past 64 nodes lazily (SharerSet); the dirty-word mask
+  // below is a genuine geometry limit (block <= 512 bytes), not a cluster
+  // size limit.
   FGDSM_ASSERT_MSG(cluster.words_per_block() <= 64,
                    "dirty masks are 64 bits (block <= 512 bytes)");
   for (NodeState& ns : nodes_) {
@@ -100,7 +98,7 @@ const Stache::DirEntry* Stache::dir_find(int home, BlockId b) const {
 Stache::DirSnapshot Stache::dir_snapshot(BlockId b) const {
   const DirEntry* e = dir_find(cluster_.home_of(b), b);
   if (e == nullptr) return DirSnapshot{};
-  return DirSnapshot{e->state, e->sharers, e->owner, e->busy};
+  return DirSnapshot{e->state, e->sharers.low64(), e->owner, e->busy};
 }
 
 // ---------------------------------------------------------------------------
@@ -249,7 +247,7 @@ void Stache::service(Node& home, MsgType type, int requester, BlockId b,
   FGDSM_LOG("stache", "t=" << clk.t << " service blk=" << b << " type="
                            << static_cast<int>(type) << " req=" << requester
                            << " state=" << static_cast<int>(e.state)
-                           << " sharers=" << e.sharers << " owner="
+                           << " sharers=" << e.sharers.low64() << " owner="
                            << e.owner);
 
   switch (type) {
@@ -262,15 +260,15 @@ void Stache::service(Node& home, MsgType type, int requester, BlockId b,
           if (home.access(b) == Access::kReadWrite) {
             home.set_access(b, Access::kReadOnly);
             clk.charge(cluster_.costs().access_change_cost);
-            e.sharers |= bit(self);
+            e.sharers.add(self);
           }
           e.state = DirState::kShared;
-          e.sharers |= bit(requester);
+          e.sharers.add(requester);
           send_block_msg(home, clk, requester, MsgType::kReadResp, b, 0,
                          /*with_data=*/true);
           break;
         case DirState::kShared:
-          e.sharers |= bit(requester);
+          e.sharers.add(requester);
           send_block_msg(home, clk, requester, MsgType::kReadResp, b, 0,
                          /*with_data=*/true);
           break;
@@ -286,7 +284,9 @@ void Stache::service(Node& home, MsgType type, int requester, BlockId b,
             clk.charge(cluster_.costs().access_change_cost);
             reset_pending_mask(self, b);
             e.state = DirState::kShared;
-            e.sharers = bit(self) | bit(requester);
+            e.sharers.clear();
+            e.sharers.add(self);
+            e.sharers.add(requester);
             e.owner = -1;
             send_block_msg(home, clk, requester, MsgType::kReadResp, b, 0,
                            /*with_data=*/true);
@@ -307,7 +307,7 @@ void Stache::service(Node& home, MsgType type, int requester, BlockId b,
       // the requester's copy was invalidated while this request was in
       // flight — deny (its dirty words already travelled with the
       // invalidation ack).
-      if (e.state != DirState::kShared || (e.sharers & bit(requester)) == 0) {
+      if (e.state != DirState::kShared || !e.sharers.contains(requester)) {
         sim::Message g;
         g.dst = requester;
         g.type = static_cast<std::uint16_t>(MsgType::kWriteGrant);
@@ -316,11 +316,11 @@ void Stache::service(Node& home, MsgType type, int requester, BlockId b,
         home.send_from_handler(clk, std::move(g));
         break;
       }
-      const std::uint64_t to_inval = e.sharers & ~bit(requester);
-      if (to_inval == 0) {
+      const int ninval = e.sharers.count() - 1;  // everyone but the requester
+      if (ninval == 0) {
         e.state = DirState::kExcl;
         e.owner = requester;
-        e.sharers = 0;
+        e.sharers.clear();
         sim::Message g;
         g.dst = requester;
         g.type = static_cast<std::uint16_t>(MsgType::kWriteGrant);
@@ -329,12 +329,12 @@ void Stache::service(Node& home, MsgType type, int requester, BlockId b,
         break;
       }
       e.busy = true;
-      e.txn = Txn{Txn::Kind::kWrite, requester, popcount(to_inval), 0};
-      for (int n = 0; n < cluster_.nnodes(); ++n) {
-        if ((to_inval & bit(n)) == 0) continue;
+      e.txn = Txn{Txn::Kind::kWrite, requester, ninval, 0};
+      e.sharers.for_each([&](int n) {
+        if (n == requester) return;
         send_block_msg(home, clk, n, MsgType::kInval, b, 0,
                        /*with_data=*/false);
-      }
+      });
       break;
     }
 
@@ -350,38 +350,37 @@ void Stache::service(Node& home, MsgType type, int requester, BlockId b,
           reset_pending_mask(self, b);
           e.state = DirState::kExcl;
           e.owner = requester;
-          e.sharers = 0;
+          e.sharers.clear();
           send_block_msg(home, clk, requester, MsgType::kFetchExclResp, b, 0,
                          /*with_data=*/true);
           break;
         }
         case DirState::kShared: {
-          std::uint64_t to_inval = e.sharers & ~bit(requester);
+          SharerSet to_inval = e.sharers;
+          to_inval.remove(requester);
           // Invalidate the home's own read-only copy inline (its memory is
           // the authoritative storage; no message needed).
-          if ((to_inval & bit(self)) != 0) {
+          if (to_inval.contains(self)) {
             home.set_access(b, Access::kInvalid);
             clk.charge(cluster_.costs().access_change_cost);
             reset_pending_mask(self, b);
-            to_inval &= ~bit(self);
+            to_inval.remove(self);
           }
-          if (to_inval == 0) {
+          if (to_inval.empty()) {
             e.state = DirState::kExcl;
             e.owner = requester;
-            e.sharers = 0;
+            e.sharers.clear();
             send_block_msg(home, clk, requester, MsgType::kFetchExclResp, b,
                            0, /*with_data=*/true);
             break;
           }
           e.busy = true;
-          e.txn = Txn{Txn::Kind::kFetchExcl, requester, popcount(to_inval),
-                      0};
-          e.sharers = 0;
-          for (int n = 0; n < cluster_.nnodes(); ++n) {
-            if ((to_inval & bit(n)) == 0) continue;
+          e.txn = Txn{Txn::Kind::kFetchExcl, requester, to_inval.count(), 0};
+          e.sharers.clear();
+          to_inval.for_each([&](int n) {
             send_block_msg(home, clk, n, MsgType::kInval, b, 0,
                            /*with_data=*/false);
-          }
+          });
           break;
         }
         case DirState::kExcl: {
@@ -455,7 +454,9 @@ void Stache::h_put_data_resp(Node& self, sim::Message& m, HandlerClock& clk) {
       static_cast<std::int64_t>(cluster_.block_size())));
   const int prev_owner = e.owner;
   e.state = DirState::kShared;
-  e.sharers = bit(prev_owner) | bit(e.txn.requester);
+  e.sharers.clear();
+  e.sharers.add(prev_owner);
+  e.sharers.add(e.txn.requester);
   e.owner = -1;
   send_block_msg(self, clk, e.txn.requester, MsgType::kReadResp, b, 0,
                  /*with_data=*/true);
@@ -530,7 +531,7 @@ void Stache::finish_txn_if_done(Node& home, BlockId b, DirEntry& e,
     case Txn::Kind::kWrite: {
       e.state = DirState::kExcl;
       e.owner = e.txn.requester;
-      e.sharers = 0;
+      e.sharers.clear();
       // Grant; forward any words merged from concurrently-invalidated
       // writers so the new owner's copy becomes complete.
       send_block_msg(home, clk, e.txn.requester, MsgType::kWriteGrant, b,
@@ -540,7 +541,7 @@ void Stache::finish_txn_if_done(Node& home, BlockId b, DirEntry& e,
     case Txn::Kind::kFetchExcl: {
       e.state = DirState::kExcl;
       e.owner = e.txn.requester;
-      e.sharers = 0;
+      e.sharers.clear();
       send_block_msg(home, clk, e.txn.requester, MsgType::kFetchExclResp, b,
                      0, /*with_data=*/true);
       break;
@@ -809,7 +810,8 @@ std::vector<std::string> Stache::find_violations() const {
     const int home = cluster_.home_of(b);
     const DirEntry* e = dir_find(home, b);
     const DirState state = e == nullptr ? DirState::kIdle : e->state;
-    const std::uint64_t sharers = e == nullptr ? 0 : e->sharers;
+    static const SharerSet kNoSharers;
+    const SharerSet& sharers = e == nullptr ? kNoSharers : e->sharers;
     const int owner = e == nullptr ? -1 : e->owner;
     for (int n = 0; n < np; ++n) {
       const Access a = cluster_.node(n).access(b);
@@ -830,12 +832,12 @@ std::vector<std::string> Stache::find_violations() const {
           // Read-only copies at the sharer set; nobody writable.
           if (a == Access::kReadWrite) {
             os << "block " << b << " Shared (sharers 0x" << std::hex
-               << sharers << std::dec << ") but node " << n
+               << sharers.low64() << std::dec << ") but node " << n
                << " holds a writable tag";
             report(os.str());
-          } else if (a == Access::kReadOnly && (sharers & bit(n)) == 0) {
+          } else if (a == Access::kReadOnly && !sharers.contains(n)) {
             os << "block " << b << " Shared (sharers 0x" << std::hex
-               << sharers << std::dec << ") but non-sharer node " << n
+               << sharers.low64() << std::dec << ") but non-sharer node " << n
                << " holds a readonly tag";
             report(os.str());
           }

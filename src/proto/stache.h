@@ -52,6 +52,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/proto/sharer_set.h"
 #include "src/sim/sync.h"
 #include "src/tempest/cluster.h"
 #include "src/tempest/node.h"
@@ -120,7 +121,7 @@ class Stache : public tempest::Protocol {
   enum class DirState : std::uint8_t { kIdle, kShared, kExcl };
   struct DirSnapshot {
     DirState state = DirState::kIdle;
-    std::uint64_t sharers = 0;
+    std::uint64_t sharers = 0;  // inline word: members among nodes 0–63
     int owner = -1;
     bool busy = false;
   };
@@ -156,7 +157,7 @@ class Stache : public tempest::Protocol {
   };
   struct DirEntry {
     DirState state = DirState::kIdle;
-    std::uint64_t sharers = 0;  // bitmask; cluster is <= 64 nodes
+    SharerSet sharers;  // inline bitmask for nodes 0–63, lazy spill above
     int owner = -1;
     bool busy = false;
     Txn txn;
@@ -250,7 +251,6 @@ class Stache : public tempest::Protocol {
   void issue_upgrade(Node& node, sim::Task& task, BlockId b);
 
   std::uint64_t full_mask() const;
-  std::uint64_t bit(int n) const { return std::uint64_t{1} << n; }
 
   tempest::Cluster& cluster_;
   // dir_[home][dir_index(block)] — flat per-home arrays over the blocks

@@ -20,12 +20,58 @@ ReliableChannel::ReliableChannel(Engine& engine, Network& net, int nnodes,
       net_(net),
       nnodes_(nnodes),
       cfg_(cfg),
-      tx_(static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(nnodes)),
-      rx_(static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(nnodes)),
       deliver_(static_cast<std::size_t>(nnodes)) {
   FGDSM_ASSERT(nnodes >= 1);
   FGDSM_ASSERT_MSG(cfg_.rto_ns > 0, "channel rto must be positive");
   FGDSM_ASSERT(cfg_.max_retries >= 0);
+  if (flat()) {
+    // Paper scale: the historical dense layout, no per-message hashing.
+    tx_.resize(static_cast<std::size_t>(nnodes) *
+               static_cast<std::size_t>(nnodes));
+    rx_.resize(static_cast<std::size_t>(nnodes) *
+               static_cast<std::size_t>(nnodes));
+  } else {
+    // Large clusters: per-link books materialize on first traffic only.
+    tx_sparse_.resize(static_cast<std::size_t>(nnodes));
+    rx_sparse_.resize(static_cast<std::size_t>(nnodes));
+  }
+}
+
+ReliableChannel::TxLink& ReliableChannel::tx(int src, int dst) {
+  if (flat()) return tx_[link(src, dst)];
+  auto [it, created] =
+      tx_sparse_[static_cast<std::size_t>(src)].try_emplace(dst);
+  if (created && initial_seq_ > 0) {
+    it->second.next_seq = initial_seq_;
+    it->second.acked = initial_seq_;
+    it->second.win_base = initial_seq_ + 1;
+  }
+  return it->second;
+}
+
+ReliableChannel::RxLink& ReliableChannel::rx(int src, int dst) {
+  if (flat()) return rx_[link(src, dst)];
+  auto [it, created] =
+      rx_sparse_[static_cast<std::size_t>(dst)].try_emplace(src);
+  if (created && initial_seq_ > 0) {
+    it->second.cum = initial_seq_;
+    it->second.last_ack_sent = initial_seq_;
+  }
+  return it->second;
+}
+
+ReliableChannel::TxLink* ReliableChannel::tx_find(int src, int dst) {
+  if (flat()) return &tx_[link(src, dst)];
+  auto& m = tx_sparse_[static_cast<std::size_t>(src)];
+  auto it = m.find(dst);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+ReliableChannel::RxLink* ReliableChannel::rx_find(int src, int dst) {
+  if (flat()) return &rx_[link(src, dst)];
+  auto& m = rx_sparse_[static_cast<std::size_t>(dst)];
+  auto it = m.find(src);
+  return it == m.end() ? nullptr : &it->second;
 }
 
 void ReliableChannel::attach(int node, Network::DeliverFn deliver) {
@@ -37,6 +83,7 @@ void ReliableChannel::attach(int node, Network::DeliverFn deliver) {
 }
 
 void ReliableChannel::set_initial_seq(std::uint64_t seq) {
+  initial_seq_ = seq;
   for (TxLink& t : tx_) {
     FGDSM_ASSERT_MSG(t.next_seq == 0 && t.live_count == 0,
                      "set_initial_seq after traffic started");
@@ -48,6 +95,9 @@ void ReliableChannel::set_initial_seq(std::uint64_t seq) {
     r.cum = seq;
     r.last_ack_sent = seq;
   }
+  // Sparse layout: links created later inherit initial_seq_ in tx()/rx().
+  for (const auto& m : tx_sparse_)
+    FGDSM_ASSERT_MSG(m.empty(), "set_initial_seq after traffic started");
 }
 
 ReliableChannel::TxSlot* ReliableChannel::find_slot(TxLink& t,
@@ -92,11 +142,17 @@ void ReliableChannel::release_slot(TxLink& t, TxSlot& s) {
 Time ReliableChannel::send(Time earliest, Message msg) {
   if (msg.dst == msg.src) return net_.send(earliest, std::move(msg));
 
-  TxLink& t = tx_[link(msg.src, msg.dst)];
-  RxLink& reverse = rx_[link(msg.dst, msg.src)];
+  TxLink& t = tx(msg.src, msg.dst);
   msg.ch_seq = ++t.next_seq;
-  msg.ch_ack = reverse.cum;  // piggyback: "I've received through cum"
-  reverse.last_ack_sent = reverse.cum;
+  // Piggyback: "I've received through cum". A reverse link with no resident
+  // state has received nothing beyond the initial seq — don't materialize
+  // it just to read the default.
+  if (RxLink* reverse = rx_find(msg.dst, msg.src)) {
+    msg.ch_ack = reverse->cum;
+    reverse->last_ack_sent = reverse->cum;
+  } else {
+    msg.ch_ack = initial_seq_;
+  }
   retain(t, msg);  // retained for retransmission
   arm_retransmit(msg.src, msg.dst, msg.ch_seq, /*attempt=*/0);
   return net_.send(earliest, std::move(msg));
@@ -107,7 +163,9 @@ void ReliableChannel::arm_retransmit(int src, int dst, std::uint64_t seq,
   const Time base = engine_.now();
   const Time backoff = cfg_.rto_ns << attempt;  // exponential
   engine_.schedule(base + backoff, [this, src, dst, seq, attempt] {
-    TxLink& t = tx_[link(src, dst)];
+    TxLink* tp = tx_find(src, dst);
+    if (tp == nullptr) return;  // link never materialized — nothing retained
+    TxLink& t = *tp;
     TxSlot* slot = find_slot(t, seq);
     if (slot == nullptr) return;  // acked meanwhile — timer is moot
     if (!engine_.any_task_unfinished()) {
@@ -119,9 +177,12 @@ void ReliableChannel::arm_retransmit(int src, int dst, std::uint64_t seq,
     if (attempt >= cfg_.max_retries)
       fail_retries(src, dst, seq, slot->msg, attempt);
     Message copy = slot->msg;
-    RxLink& reverse = rx_[link(dst, src)];
-    copy.ch_ack = reverse.cum;  // refresh the piggyback
-    reverse.last_ack_sent = reverse.cum;
+    if (RxLink* reverse = rx_find(dst, src)) {
+      copy.ch_ack = reverse->cum;  // refresh the piggyback
+      reverse->last_ack_sent = reverse->cum;
+    } else {
+      copy.ch_ack = initial_seq_;
+    }
     if (util::NodeStats* st = stats_for(src)) ++st->retransmits;
     net_.send(engine_.now(), std::move(copy));
     arm_retransmit(src, dst, seq, attempt + 1);
@@ -139,7 +200,9 @@ void ReliableChannel::fail_retries(int src, int dst, std::uint64_t seq,
 }
 
 void ReliableChannel::process_ack(int tx_src, int tx_dst, std::uint64_t ack) {
-  TxLink& t = tx_[link(tx_src, tx_dst)];
+  TxLink* tp = tx_find(tx_src, tx_dst);
+  if (tp == nullptr) return;  // never sent on this link — nothing retained
+  TxLink& t = *tp;
   if (ack <= t.acked) return;
   t.acked = ack;
   // Cumulative: every retained seq through `ack` is now delivered.
@@ -163,7 +226,7 @@ void ReliableChannel::on_receive(int node, Message&& m, Time arrival) {
     return;
   }
 
-  RxLink& rx = rx_[link(m.src, node)];
+  RxLink& rx = this->rx(m.src, node);
   const int src = m.src;
   if (m.ch_seq <= rx.cum) {
     // Already delivered: a retransmitted or fault-duplicated copy. The
@@ -206,11 +269,11 @@ void ReliableChannel::on_receive(int node, Message&& m, Time arrival) {
 }
 
 void ReliableChannel::schedule_pure_ack(int from, int to) {
-  RxLink& rx = rx_[link(to, from)];
+  RxLink& rx = this->rx(to, from);
   if (rx.ack_timer_armed) return;
   rx.ack_timer_armed = true;
   engine_.schedule(engine_.now() + cfg_.ack_delay_ns, [this, from, to] {
-    RxLink& rx = rx_[link(to, from)];
+    RxLink& rx = this->rx(to, from);
     rx.ack_timer_armed = false;
     if (rx.last_ack_sent >= rx.cum && rx.ooo.empty())
       return;  // reverse traffic piggybacked it already and nothing is stuck
@@ -226,12 +289,63 @@ void ReliableChannel::schedule_pure_ack(int from, int to) {
   });
 }
 
+std::size_t ReliableChannel::resident_links() const {
+  // Distinct directed links with resident (sparse) or touched (flat) state.
+  std::vector<std::pair<int, int>> pairs = active_links();
+  if (!flat()) return pairs.size();
+  std::size_t n = 0;
+  for (const auto& [s, d] : pairs) {
+    const TxLink& t = tx_[link(s, d)];
+    const RxLink& r = rx_[link(s, d)];
+    if (t.next_seq > initial_seq_ || !t.ring.empty() ||
+        r.cum > initial_seq_ || !r.ooo.empty() || r.ack_timer_armed)
+      ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<int, int>> ReliableChannel::active_links() const {
+  std::vector<std::pair<int, int>> pairs;
+  if (flat()) {
+    pairs.reserve(static_cast<std::size_t>(nnodes_) *
+                  static_cast<std::size_t>(nnodes_));
+    for (int s = 0; s < nnodes_; ++s)
+      for (int d = 0; d < nnodes_; ++d) pairs.emplace_back(s, d);
+    return pairs;
+  }
+  for (int s = 0; s < nnodes_; ++s)
+    for (const auto& [d, t] : tx_sparse_[static_cast<std::size_t>(s)])
+      pairs.emplace_back(s, d);
+  for (int d = 0; d < nnodes_; ++d)
+    for (const auto& [s, r] : rx_sparse_[static_cast<std::size_t>(d)])
+      pairs.emplace_back(s, d);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
 std::string ReliableChannel::describe_state() const {
   std::ostringstream os;
-  for (int s = 0; s < nnodes_; ++s) {
-    for (int d = 0; d < nnodes_; ++d) {
-      const TxLink& t = tx_[link(s, d)];
-      const RxLink& r = rx_[link(s, d)];
+  for (const auto& [s, d] : active_links()) {
+    {
+      auto tx_at = [&](int a, int b) -> const TxLink* {
+        if (flat()) return &tx_[link(a, b)];
+        const auto& m = tx_sparse_[static_cast<std::size_t>(a)];
+        auto it = m.find(b);
+        return it == m.end() ? nullptr : &it->second;
+      };
+      auto rx_at = [&](int a, int b) -> const RxLink* {
+        if (flat()) return &rx_[link(a, b)];
+        const auto& m = rx_sparse_[static_cast<std::size_t>(b)];
+        auto it = m.find(a);
+        return it == m.end() ? nullptr : &it->second;
+      };
+      static const TxLink kNoTx;
+      static const RxLink kNoRx;
+      const TxLink* tp = tx_at(s, d);
+      const RxLink* rp = rx_at(s, d);
+      const TxLink& t = tp != nullptr ? *tp : kNoTx;
+      const RxLink& r = rp != nullptr ? *rp : kNoRx;
       if (t.live_count == 0 && r.ooo.empty()) continue;
       os << "  link " << s << "->" << d << ":";
       if (t.live_count > 0) {

@@ -15,14 +15,24 @@
 //   - the receiver delivers in sequence order, buffers out-of-order arrivals,
 //     and suppresses duplicates (retransmitted or fault-duplicated copies).
 //
-// Bookkeeping is flat: the sender's retained copies live in a power-of-two
-// ring indexed by sequence number (consecutive seqs make the sliding window
-// a natural ring; the ring doubles on the rare occasion the window outgrows
+// Bookkeeping: the sender's retained copies live in a power-of-two ring
+// indexed by sequence number (consecutive seqs make the sliding window a
+// natural ring; the ring doubles on the rare occasion the window outgrows
 // it), and the receiver's out-of-order buffer is a small sorted vector —
 // no node-per-message containers on the retransmission path. Sequence
 // numbers are 64-bit end to end, so they never wrap within any realistic
 // soak (the earlier 32-bit fields, compared with plain </>, misordered after
 // 2^32 messages on one link).
+//
+// Link-state residency: at paper scale (nnodes <= kFlatLinkNodes) the
+// per-link books live in flat nnodes^2 vectors indexed src*nnodes+dst — the
+// historical fast path, untouched. Larger clusters switch to per-source
+// hash maps where a link's book is allocated on its first traffic, so
+// resident state grows with *active* links rather than nodes^2 (a 1024-node
+// cluster would otherwise hold ~1M tx+rx records before the first message).
+// Lazily created links inherit initial_seq_ exactly as the flat path does,
+// and every map is keyed/iterated deterministically (sorted on iteration),
+// preserving bit-identity.
 //
 // The channel exists only in chaos mode (tempest::Cluster creates it iff
 // --faults is given); a fault-free configuration keeps the original direct
@@ -35,6 +45,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/sim/engine.h"
@@ -84,6 +96,14 @@ class ReliableChannel {
   // Must be called before any traffic flows.
   void set_initial_seq(std::uint64_t seq);
 
+  // Number of directed links with resident per-link state (allocated lazily
+  // above kFlatLinkNodes; counted by traffic below it). Idle links
+  // contribute nothing — the scaling tests assert this.
+  std::size_t resident_links() const;
+
+  // Node-count threshold for the flat vs lazy link-state layout.
+  static constexpr int kFlatLinkNodes = 64;
+
  private:
   struct TxSlot {
     Message msg;
@@ -108,6 +128,18 @@ class ReliableChannel {
     return static_cast<std::size_t>(src) * static_cast<std::size_t>(nnodes_) +
            static_cast<std::size_t>(dst);
   }
+  bool flat() const { return nnodes_ <= kFlatLinkNodes; }
+
+  // Get-or-create accessors (lazy above kFlatLinkNodes; created links
+  // inherit initial_seq_). References stay valid across later creations —
+  // unordered_map never invalidates references on rehash.
+  TxLink& tx(int src, int dst);
+  RxLink& rx(int src, int dst);
+  // Lookup-only variants: null when the link has no resident state yet.
+  TxLink* tx_find(int src, int dst);
+  RxLink* rx_find(int src, int dst);
+  // Sorted (src,dst) pairs with link state (all pairs in the flat layout).
+  std::vector<std::pair<int, int>> active_links() const;
   util::NodeStats* stats_for(int node) {
     return static_cast<std::size_t>(node) < stats_.size() ? stats_[node]
                                                           : nullptr;
@@ -133,8 +165,14 @@ class ReliableChannel {
   Network& net_;
   int nnodes_;
   ChannelConfig cfg_;
-  std::vector<TxLink> tx_;                   // nnodes^2, sender side
-  std::vector<RxLink> rx_;                   // nnodes^2, receiver side
+  // Flat layout (nnodes <= kFlatLinkNodes): nnodes^2 vectors, the original
+  // fast path. Sparse layout: per-source maps keyed by dst, populated on a
+  // link's first traffic.
+  std::vector<TxLink> tx_;                   // sender side (flat)
+  std::vector<RxLink> rx_;                   // receiver side (flat)
+  std::vector<std::unordered_map<int, TxLink>> tx_sparse_;  // per src
+  std::vector<std::unordered_map<int, RxLink>> rx_sparse_;  // per dst's src
+  std::uint64_t initial_seq_ = 0;            // inherited by lazy links
   std::vector<Network::DeliverFn> deliver_;  // app sinks, per node
   std::vector<util::NodeStats*> stats_;
   std::function<const char*(std::uint16_t)> type_name_;

@@ -96,10 +96,11 @@ FaultInjector::FaultInjector(const FaultConfig& cfg, int nnodes,
                              Time default_window)
     : cfg_(cfg),
       nnodes_(nnodes),
-      window_(cfg.delay_ns > 0 ? cfg.delay_ns : default_window),
-      link_count_(static_cast<std::size_t>(nnodes) *
-                  static_cast<std::size_t>(nnodes)) {
+      window_(cfg.delay_ns > 0 ? cfg.delay_ns : default_window) {
   FGDSM_ASSERT(nnodes >= 1);
+  if (nnodes <= kFlatLinkNodes)
+    link_count_.resize(static_cast<std::size_t>(nnodes) *
+                       static_cast<std::size_t>(nnodes));
   FGDSM_ASSERT_MSG(window_ > 0, "fault delay window must be positive");
 }
 
@@ -117,7 +118,7 @@ FaultInjector::Decision FaultInjector::decide(int src, int dst) {
   const std::size_t link = static_cast<std::size_t>(src) *
                                static_cast<std::size_t>(nnodes_) +
                            static_cast<std::size_t>(dst);
-  const std::uint64_t n = link_count_[link]++;
+  const std::uint64_t n = link_counter(link)++;
   Decision d;
   util::NodeStats* st =
       static_cast<std::size_t>(src) < stats_.size() ? stats_[src] : nullptr;

@@ -110,6 +110,98 @@ const Cluster::Handler& Cluster::handler(MsgType t) const {
   return h;
 }
 
+int Cluster::resolve_group(int nnodes, int group) {
+  if (group > 0) return group;
+  int g = 1;
+  while (g * g < nnodes) ++g;  // ceil(sqrt(n)) balances the two levels
+  return g;
+}
+
+int Cluster::collective_parent(Collectives topo, int node, int nnodes,
+                               int group) {
+  FGDSM_ASSERT(node > 0 && node < nnodes);
+  switch (topo) {
+    case Collectives::kFlat:
+      return 0;
+    case Collectives::kBinary:
+      return (node - 1) / 2;
+    case Collectives::kBinomial:
+      return node & (node - 1);  // clear the lowest set bit
+    case Collectives::kTwoLevel: {
+      const int g = resolve_group(nnodes, group);
+      const int leader = node / g * g;
+      return node == leader ? 0 : leader;
+    }
+  }
+  return 0;
+}
+
+std::vector<int> Cluster::collective_children(Collectives topo, int node,
+                                              int nnodes, int group) {
+  // Children are always produced in ascending node order: the fan-out loops
+  // below send in list order, and ascending order is part of the
+  // bit-identity contract (it matches the historical binary fan-out).
+  std::vector<int> out;
+  switch (topo) {
+    case Collectives::kFlat:
+      if (node == 0)
+        for (int i = 1; i < nnodes; ++i) out.push_back(i);
+      break;
+    case Collectives::kBinary:
+      if (2 * node + 1 < nnodes) out.push_back(2 * node + 1);
+      if (2 * node + 2 < nnodes) out.push_back(2 * node + 2);
+      break;
+    case Collectives::kBinomial: {
+      // Node i's children are i | (1<<k) for each bit k below i's lowest
+      // set bit (all powers of two for the root). Ascending in k.
+      const int low = node == 0 ? nnodes : node & -node;
+      for (int bit = 1; bit < low; bit <<= 1) {
+        const int c = node | bit;
+        if (c >= nnodes) break;  // children only grow with k
+        out.push_back(c);
+      }
+      break;
+    }
+    case Collectives::kTwoLevel: {
+      const int g = resolve_group(nnodes, group);
+      if (node % g == 0) {
+        // Leader: the members of its group...
+        for (int c = node + 1; c < std::min(node + g, nnodes); ++c)
+          out.push_back(c);
+        // ...and, for the root, every other leader. Members of group 0 all
+        // precede the first leader, so the list stays ascending.
+        if (node == 0)
+          for (int c = g; c < nnodes; c += g) out.push_back(c);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+int Cluster::collective_depth(Collectives topo, int nnodes, int group) {
+  if (nnodes <= 1) return 0;
+  switch (topo) {
+    case Collectives::kFlat:
+      return 1;
+    case Collectives::kBinary: {
+      int d = 0;
+      for (int span = 1; span < nnodes; span = 2 * span + 1) ++d;
+      return d;
+    }
+    case Collectives::kBinomial: {
+      // Node i sits popcount(i) hops below the root.
+      int d = 0;
+      for (int i = 1; i < nnodes; ++i)
+        d = std::max(d, std::popcount(static_cast<unsigned>(i)));
+      return d;
+    }
+    case Collectives::kTwoLevel:
+      return resolve_group(nnodes, group) >= nnodes ? 1 : 2;
+  }
+  return 1;
+}
+
 double Cluster::reduce_identity(int op) {
   switch (static_cast<Node::ReduceOp>(op)) {
     case Node::ReduceOp::kSum: return 0.0;
@@ -141,8 +233,7 @@ void Cluster::tree_barrier_step(int node, sim::Time t, const SendFn& send) {
     // — the globally quiescent point (see the centralized handler).
     if (cfg_.check_coherence && nodes_[0]->protocol != nullptr)
       nodes_[0]->protocol->check_invariants(*nodes_[0]);
-    for (int c : {1, 2}) {
-      if (c >= cfg_.nnodes) continue;
+    for (int c : tree_children(0)) {
       sim::Message rel;
       rel.dst = c;
       rel.type = static_cast<std::uint16_t>(MsgType::kBarrierRelease);
@@ -163,11 +254,18 @@ void Cluster::tree_reduce_step(int node, sim::Time t, const SendFn& send) {
     return;
   tree_red_self[static_cast<std::size_t>(node)] = 0;
   tree_red_arrived[static_cast<std::size_t>(node)] = 0;
-  const double partial = tree_partial[static_cast<std::size_t>(node)];
+  // Fold in a fixed order — own value first, then children ascending — so
+  // the subtree's floating-point result is independent of arrival order
+  // (chaos delays reorder kReduceUp messages; results must not move).
+  double partial = tree_partial[static_cast<std::size_t>(node)];
+  const std::vector<double>& contrib =
+      tree_red_contrib[static_cast<std::size_t>(node)];
+  for (const double c : contrib)
+    partial = reduce_combine(tree_red_op[static_cast<std::size_t>(node)],
+                             partial, c);
   if (node == 0) {
     nodes_[0]->reduce_result = partial;
-    for (int c : {1, 2}) {
-      if (c >= cfg_.nnodes) continue;
+    for (int c : tree_children(0)) {
       sim::Message down;
       down.dst = c;
       down.type = static_cast<std::uint16_t>(MsgType::kReduceDown);
@@ -186,7 +284,7 @@ void Cluster::tree_reduce_step(int node, sim::Time t, const SendFn& send) {
 }
 
 void Cluster::register_builtin_handlers() {
-  if (cfg_.tree_collectives) {
+  if (cfg_.collectives != Collectives::kFlat) {
     register_tree_handlers();
     return;
   }
@@ -261,9 +359,25 @@ void Cluster::register_builtin_handlers() {
 }
 
 void Cluster::register_tree_handlers() {
+  // Precompute the configured shape once; the steps and handlers below are
+  // topology-agnostic table walks.
+  const std::size_t n = static_cast<std::size_t>(cfg_.nnodes);
+  tree_parent_.assign(n, 0);
+  tree_children_.assign(n, {});
+  for (int i = 0; i < cfg_.nnodes; ++i) {
+    if (i > 0)
+      tree_parent_[static_cast<std::size_t>(i)] = collective_parent(
+          cfg_.collectives, i, cfg_.nnodes, cfg_.collective_group);
+    tree_children_[static_cast<std::size_t>(i)] = collective_children(
+        cfg_.collectives, i, cfg_.nnodes, cfg_.collective_group);
+  }
   tree_arrived.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
   tree_self_arrived.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
   tree_partial.assign(static_cast<std::size_t>(cfg_.nnodes), 0.0);
+  tree_red_contrib.assign(static_cast<std::size_t>(cfg_.nnodes), {});
+  for (int i = 0; i < cfg_.nnodes; ++i)
+    tree_red_contrib[static_cast<std::size_t>(i)].resize(
+        tree_children_[static_cast<std::size_t>(i)].size(), 0.0);
   tree_red_arrived.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
   tree_red_self.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
   tree_red_op.assign(static_cast<std::size_t>(cfg_.nnodes), 0);
@@ -281,8 +395,7 @@ void Cluster::register_tree_handlers() {
       MsgType::kBarrierRelease,
       [this](Node& self, sim::Message&, HandlerClock& clk) {
         // Forward down the tree, then release the local task.
-        for (int c : {2 * self.id() + 1, 2 * self.id() + 2}) {
-          if (c >= cfg_.nnodes) continue;
+        for (int c : tree_children(self.id())) {
           sim::Message rel;
           rel.dst = c;
           rel.type = static_cast<std::uint16_t>(MsgType::kBarrierRelease);
@@ -295,10 +408,14 @@ void Cluster::register_tree_handlers() {
       [this](Node& self, sim::Message& m, HandlerClock& clk) {
         const std::size_t id = static_cast<std::size_t>(self.id());
         tree_red_op[id] = static_cast<int>(m.arg[1]);
-        if (tree_red_arrived[id] == 0 && tree_red_self[id] == 0)
-          tree_partial[id] = reduce_identity(tree_red_op[id]);
-        tree_partial[id] = reduce_combine(
-            tree_red_op[id], tree_partial[id], std::bit_cast<double>(m.arg[0]));
+        // Buffer the child's value in its slot; the fold happens in
+        // tree_reduce_step once the subtree is complete, in child order.
+        const std::vector<int>& kids = tree_children(self.id());
+        std::size_t slot = 0;
+        while (slot < kids.size() && kids[slot] != m.src) ++slot;
+        FGDSM_ASSERT_MSG(slot < kids.size(),
+                         "kReduceUp from a non-child node");
+        tree_red_contrib[id][slot] = std::bit_cast<double>(m.arg[0]);
         ++tree_red_arrived[id];
         tree_reduce_step(self.id(), clk.t, [&](sim::Message msg) {
           self.send_from_handler(clk, std::move(msg));
@@ -307,8 +424,7 @@ void Cluster::register_tree_handlers() {
   register_handler(
       MsgType::kReduceDown,
       [this](Node& self, sim::Message& m, HandlerClock& clk) {
-        for (int c : {2 * self.id() + 1, 2 * self.id() + 2}) {
-          if (c >= cfg_.nnodes) continue;
+        for (int c : tree_children(self.id())) {
           sim::Message down;
           down.dst = c;
           down.type = static_cast<std::uint16_t>(MsgType::kReduceDown);

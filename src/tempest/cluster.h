@@ -90,28 +90,51 @@ class Cluster {
   Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
 
   // ---- Coordinator state ----
-  // Centralized: node 0 counts arrivals. Tree: every node counts arrivals
-  // from its children (binomial tree rooted at 0); the release flows back
-  // down the same tree.
+  // Centralized (kFlat): node 0 counts arrivals. Tree topologies: every
+  // node counts arrivals from its children in the configured shape (binary,
+  // binomial, or two-level groups — see Collectives); the release flows
+  // back down the same shape.
   struct BarrierState {
     int arrived = 0;
   } barrier_state;
   std::vector<int> tree_arrived;        // per node: children heard this round
   std::vector<char> tree_self_arrived;  // per node: own arrival this round
-  std::vector<double> tree_partial;     // per node: partial reduction value
+  std::vector<double> tree_partial;     // per node: own contribution
+  // Per node, one slot per child (same index as tree_children(node)).
+  // Child contributions are buffered here and folded in child order only
+  // once the subtree is complete — never in arrival order, which chaos
+  // delays can permute (floating-point combines are order-sensitive, and
+  // the determinism contract says faults may move timing, not results).
+  std::vector<std::vector<double>> tree_red_contrib;
   std::vector<int> tree_red_arrived;    // reduction children heard
   std::vector<char> tree_red_self;      // own contribution made
   // Per node (a single shared scalar would be written concurrently by every
   // partition's reduction path under --sim-threads).
   std::vector<int> tree_red_op;         // reduction op this round
 
-  // Tree helpers (binary tree rooted at node 0).
-  int tree_parent(int node) const { return (node - 1) / 2; }
+  // ---- Collective tree shapes ----
+  // Pure shape functions (usable without a Cluster — the unit tests assert
+  // parent/child sets directly). For kFlat they describe the centralized
+  // star (node 0 fans out to everyone) for diagnostics; the flat path never
+  // routes through the tree handlers.
+  static int resolve_group(int nnodes, int group);  // 0 -> ceil(sqrt(n))
+  static int collective_parent(Collectives topo, int node, int nnodes,
+                               int group = 0);
+  static std::vector<int> collective_children(Collectives topo, int node,
+                                              int nnodes, int group = 0);
+  // Longest root-to-leaf hop count of the shape (0 for a single node).
+  static int collective_depth(Collectives topo, int nnodes, int group = 0);
+
+  // Table lookups for the configured topology (built by
+  // register_tree_handlers; valid only when collectives != kFlat).
+  int tree_parent(int node) const {
+    return tree_parent_[static_cast<std::size_t>(node)];
+  }
+  const std::vector<int>& tree_children(int node) const {
+    return tree_children_[static_cast<std::size_t>(node)];
+  }
   int tree_nchildren(int node) const {
-    int c = 0;
-    if (2 * node + 1 < cfg_.nnodes) ++c;
-    if (2 * node + 2 < cfg_.nnodes) ++c;
-    return c;
+    return static_cast<int>(tree_children(node).size());
   }
   // Barrier/reduction tree steps shared by task- and handler-context
   // arrivals; `send` abstracts who pays the injection cost.
@@ -143,6 +166,9 @@ class Cluster {
   std::unique_ptr<sim::FaultInjector> fault_;
   std::unique_ptr<sim::ReliableChannel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Configured collective shape, precomputed once (empty under kFlat).
+  std::vector<int> tree_parent_;
+  std::vector<std::vector<int>> tree_children_;
   std::array<Handler, static_cast<std::size_t>(MsgType::kCount)> handlers_;
   std::size_t segment_bytes_ = 0;
   std::vector<std::pair<std::string, GAddr>> regions_;

@@ -1,8 +1,14 @@
 #include "src/tempest/node.h"
 
+#include <algorithm>
 #include <bit>
-#include <unordered_set>
 #include <cstring>
+#include <unordered_set>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
 
 #include "src/sim/trace.h"
 #include "src/tempest/cluster.h"
@@ -22,26 +28,61 @@ Node::Node(Cluster& cluster, int id) : cluster_(cluster), id_(id) {
 void Node::finalize_memory(std::size_t segment_bytes, std::size_t nblocks,
                            bool dual_cpu) {
   dual_cpu_ = dual_cpu;
-  mem_.assign(segment_bytes, std::byte{0});
-  tags_.resize(nblocks);
+  mem_ = make_zero_buf<std::byte>(segment_bytes);
+  mem_bytes_ = segment_bytes;
+  tags_ = make_zero_buf<Access>(nblocks);
+  ntags_ = nblocks;
+  FGDSM_ASSERT(segment_bytes == 0 || mem_ != nullptr);
+  FGDSM_ASSERT(nblocks == 0 || tags_ != nullptr);
   // Bootstrap state: the home node of a block holds it writable (its backing
   // store *is* the block's home storage); everyone else starts Invalid. The
-  // directory starts Idle, matching this.
-  for (BlockId b = 0; b < nblocks; ++b)
-    tags_[b] = cluster_.home_of(b) == id_ ? Access::kReadWrite
-                                          : Access::kInvalid;
+  // directory starts Idle, matching this. calloc-zeroed tags are already
+  // kInvalid, so only the home-owned runs are written — one page in nnodes
+  // of the tag array is ever touched here, keeping per-node startup cost
+  // O(segment / nnodes) rather than O(segment).
+  static_assert(static_cast<std::uint8_t>(Access::kInvalid) == 0,
+                "zero-filled tags must read as kInvalid");
+  const std::size_t blocks_per_page =
+      cluster_.config().page_size / cluster_.config().block_size;
+  const std::size_t nnodes = static_cast<std::size_t>(cluster_.nnodes());
+  for (std::size_t page = static_cast<std::size_t>(id_);
+       page * blocks_per_page < nblocks; page += nnodes) {
+    const BlockId first = page * blocks_per_page;
+    const BlockId last = std::min<BlockId>(first + blocks_per_page, nblocks);
+    for (BlockId b = first; b < last; ++b) tags_[b] = Access::kReadWrite;
+  }
 }
 
 void Node::bind_task(sim::Task* t) { task_ = t; }
 
 std::byte* Node::mem(GAddr a) {
-  FGDSM_DCHECK(a < mem_.size());
-  return mem_.data() + a;
+  FGDSM_DCHECK(a < mem_bytes_);
+  return mem_.get() + a;
 }
 
 const std::byte* Node::mem(GAddr a) const {
-  FGDSM_DCHECK(a < mem_.size());
-  return mem_.data() + a;
+  FGDSM_DCHECK(a < mem_bytes_);
+  return mem_.get() + a;
+}
+
+std::size_t Node::resident_mem_bytes() const {
+#if defined(__linux__)
+  if (mem_bytes_ == 0) return 0;
+  const std::size_t page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(mem_.get());
+  const std::uintptr_t lo = (base + page - 1) & ~(page - 1);
+  const std::uintptr_t hi = (base + mem_bytes_) & ~(page - 1);
+  if (hi <= lo) return 0;
+  std::vector<unsigned char> incore((hi - lo) / page);
+  if (mincore(reinterpret_cast<void*>(lo), hi - lo, incore.data()) != 0)
+    return 0;
+  std::size_t resident = 0;
+  for (unsigned char v : incore)
+    if (v & 1) resident += page;
+  return resident;
+#else
+  return 0;
+#endif
 }
 
 // Both ensure_* routines loop until one *yield-free* pass over the footprint
@@ -285,7 +326,7 @@ void Node::barrier(sim::Task& task) {
   if (protocol != nullptr) protocol->drain(*this, task);
   task.charge(cluster_.costs().barrier_local_cost);
   if (cluster_.nnodes() > 1) {
-    if (cluster_.config().tree_collectives) {
+    if (cluster_.config().collectives != Collectives::kFlat) {
       cluster_.tree_self_arrived[static_cast<std::size_t>(id_)] = 1;
       cluster_.tree_barrier_step(
           id_, task.now(), [&](sim::Message m) { send(task, std::move(m)); });
@@ -319,14 +360,12 @@ double Node::allreduce(sim::Task& task, double v, ReduceOp op) {
     stats.sync_ns += task.now() - t0;
     return v;
   }
-  if (cluster_.config().tree_collectives) {
+  if (cluster_.config().collectives != Collectives::kFlat) {
     const std::size_t id = static_cast<std::size_t>(id_);
     cluster_.tree_red_op[id] = static_cast<int>(op);
-    if (cluster_.tree_red_arrived[id] == 0 && cluster_.tree_red_self[id] == 0)
-      cluster_.tree_partial[id] =
-          Cluster::reduce_identity(static_cast<int>(op));
-    cluster_.tree_partial[id] = Cluster::reduce_combine(
-        static_cast<int>(op), cluster_.tree_partial[id], v);
+    // Own value only; child contributions live in tree_red_contrib slots
+    // and tree_reduce_step folds everything in a fixed order.
+    cluster_.tree_partial[id] = v;
     cluster_.tree_red_self[id] = 1;
     cluster_.tree_reduce_step(
         id_, task.now(), [&](sim::Message m) { send(task, std::move(m)); });

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -37,6 +38,9 @@ class Node {
   // the cluster finalizes allocation (Cluster::run).
   std::byte* mem(GAddr a);
   const std::byte* mem(GAddr a) const;
+  // Bytes of this node's segment backing the OS has actually committed
+  // (resident pages). Scaling diagnostics; 0 when unsupported.
+  std::size_t resident_mem_bytes() const;
   template <typename T>
   T* ptr(GAddr a) {
     return reinterpret_cast<T*>(mem(a));
@@ -144,11 +148,29 @@ class Node {
   void schedule_next_handler(sim::Time earliest);
   void execute_one_handler();
 
+  // Zero-initialized buffer backed by calloc: for multi-megabyte segments
+  // the allocator hands back untouched kernel zero pages, so physical
+  // memory is committed only where the run actually reads or writes. Every
+  // node "backs the whole segment", but a 1024-node cluster must not pay
+  // 1024 eager copies of it — the old vector's value-initialization wrote
+  // (and thus committed) every byte up front.
+  struct FreeDeleter {
+    void operator()(void* p) const { std::free(p); }
+  };
+  template <typename T>
+  using ZeroBuf = std::unique_ptr<T[], FreeDeleter>;
+  template <typename T>
+  static ZeroBuf<T> make_zero_buf(std::size_t n) {
+    return ZeroBuf<T>(static_cast<T*>(std::calloc(n ? n : 1, sizeof(T))));
+  }
+
   Cluster& cluster_;
   int id_;
   bool dual_cpu_ = true;
-  std::vector<std::byte> mem_;
-  std::vector<Access> tags_;
+  ZeroBuf<std::byte> mem_;   // contiguous: handlers memcpy via raw mem()
+  std::size_t mem_bytes_ = 0;
+  ZeroBuf<Access> tags_;     // zero == kInvalid, the non-home default
+  std::size_t ntags_ = 0;
   sim::Resource cpu_res_;
   sim::Resource proto_res_;
   sim::Task* task_ = nullptr;

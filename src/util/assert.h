@@ -48,7 +48,10 @@ namespace detail {
   } while (0)
 
 #ifdef NDEBUG
-#define FGDSM_DCHECK(expr) ((void)0)
+// sizeof keeps the expression unevaluated (zero cost) while still
+// referencing its operands, so variables used only in DCHECKs do not trip
+// -Wunused-variable in release builds.
+#define FGDSM_DCHECK(expr) ((void)sizeof(expr))
 #else
 #define FGDSM_DCHECK(expr) FGDSM_ASSERT(expr)
 #endif
