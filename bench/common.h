@@ -26,7 +26,13 @@
 //   --check-coherence  run the protocol invariant checker at every barrier
 //   --faults=<spec> chaos mode: deterministic fault injection + reliable
 //                   transport (drop=P,dup=P,delay=P,reorder=P,delay-ns=N,
-//                   rto-ns=N,retries=K,seed=S); see src/sim/fault.h
+//                   rto-ns=N,retries=K,seed=S, plus fail-stop crashes:
+//                   crash=<node>@<ns> repeatable, crashp=P per barrier);
+//                   see src/sim/fault.h
+//   --checkpoint-every=<k>  capture a rollback checkpoint at every k-th
+//                   barrier completion (default 0 = off). Crashed runs
+//                   recover bit-identically to fault-free results; a crash
+//                   with no checkpoint exits with code 87
 //   --watchdog-ns=<n>  virtual-time stall watchdog (default 2e9 with
 //                   --faults, otherwise off); stalls exit with code 86
 //   --sim-threads=<n>  worker threads INSIDE each simulation (conservative
@@ -82,6 +88,9 @@ inline bool g_trace_assigned = false;
 inline sim::FaultConfig g_faults;
 // --watchdog-ns=<n>: virtual-time stall threshold for every spec (0 = off).
 inline sim::Time g_watchdog_ns = 0;
+// --checkpoint-every=<k>: barrier-interval checkpointing for every spec
+// built by make_spec (0 = off).
+inline int g_checkpoint_every = 0;
 // --sim-threads=<n>: engine worker threads per simulation for every spec
 // built by make_spec (bit-identical results at any value).
 inline int g_sim_threads = 1;
@@ -102,6 +111,7 @@ struct BenchConfig {
   bool check_coherence = false;
   sim::FaultConfig faults;     // --faults=<spec>; disabled by default
   sim::Time watchdog_ns = 0;   // --watchdog-ns=<n>; 0 = off
+  int checkpoint_every = 0;    // --checkpoint-every=<k>; 0 = off
   int sim_threads = 1;         // --sim-threads=<n>; workers per simulation
   tempest::Collectives collectives = tempest::Collectives::kFlat;
   int collective_group = 0;    // twolevel fan-out; 0 = auto
@@ -116,7 +126,7 @@ struct BenchConfig {
         "scale", "nodes",     "block", "app",   "jobs",
         "plan-cache", "plan-cache-misses", "full", "json",  "trace",
         "per-loop", "check-coherence", "faults", "watchdog-ns",
-        "sim-threads", "collectives"};
+        "sim-threads", "collectives", "checkpoint-every"};
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     o.check_known(known);
     BenchConfig c;
@@ -175,9 +185,15 @@ struct BenchConfig {
       std::fprintf(stderr, "fgdsm: --sim-threads must be >= 1\n");
       std::exit(2);
     }
+    c.checkpoint_every = static_cast<int>(o.get_int("checkpoint-every", 0));
+    if (c.checkpoint_every < 0) {
+      std::fprintf(stderr, "fgdsm: --checkpoint-every must be >= 0\n");
+      std::exit(2);
+    }
     g_check_coherence = c.check_coherence;
     g_faults = c.faults;
     g_watchdog_ns = c.watchdog_ns;
+    g_checkpoint_every = c.checkpoint_every;
     g_sim_threads = c.sim_threads;
     g_collectives = c.collectives;
     g_collective_group = c.collective_group;
@@ -209,6 +225,7 @@ inline exec::ExperimentSpec make_spec(const hpf::Program& prog,
   s.config.cluster.check_coherence = g_check_coherence;
   s.config.cluster.faults = g_faults;
   s.config.cluster.watchdog_ns = g_watchdog_ns;
+  s.config.cluster.checkpoint_every = g_checkpoint_every;
   s.config.cluster.sim_threads = g_sim_threads;
   s.config.cluster.collectives = g_collectives;
   s.config.cluster.collective_group = g_collective_group;
@@ -367,6 +384,8 @@ class RunMatrix {
           exec::BatchRunner(jobs).run_all(specs_);
       for (std::size_t i = 0; i < out.size(); ++i)
         results_[keys_[i]] = out[i];
+    } catch (const sim::CrashError& e) {
+      sim::exit_crash(e);  // unrecoverable fail-stop: exit 87
     } catch (const sim::StallError& e) {
       sim::exit_stall(e);
     }
@@ -408,6 +427,8 @@ inline exec::RunResult run_app(const hpf::Program& prog,
   const exec::ExperimentSpec s = make_spec(prog, opt, nodes, dual_cpu, block);
   try {
     return exec::run(*s.program, s.config);
+  } catch (const sim::CrashError& e) {
+    sim::exit_crash(e);  // unrecoverable fail-stop: exit 87
   } catch (const sim::StallError& e) {
     sim::exit_stall(e);
   }

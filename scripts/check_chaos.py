@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
-"""Chaos-run validation for the CI chaos job.
+"""Chaos-run validation for the CI chaos and crash jobs.
 
-Usage: scripts/check_chaos.py BASELINE.json CHAOS.json [CHAOS2.json ...]
+Usage: scripts/check_chaos.py [--crash] BASELINE.json CHAOS.json [...]
 
 Asserts, for each chaos file against the fault-free baseline:
   - the same set of (app, config) runs is present;
   - every application scalar (checksums, residuals) is bit-identical —
-    the reliable channel must hide drops/dups/delays completely;
-  - the chaos run actually injected faults and recovered from them
-    (faults_dropped > 0 and retransmits > 0 in the summed totals).
+    the reliable channel must hide drops/dups/delays completely, and
+    checkpoint/rollback recovery must replay to the exact same answers;
+  - the run actually exercised the machinery (non-vacuity). Message chaos:
+    faults_dropped > 0 and retransmits > 0 in the summed totals. With
+    --crash: crashes > 0 and recoveries > 0 instead — a pure fail-stop run
+    drops no messages on the wire, so the message-chaos condition would
+    reject exactly the runs the crash gauntlet is for.
 Elapsed time is deliberately NOT compared: delays/reordering shift protocol
-race outcomes (write contention, invalidation timing), so a chaos run may
-legitimately finish earlier or later than the baseline — only the
-application results must be identical.
+race outcomes (write contention, invalidation timing), and a rollback
+replays lost work, so a faulted run may legitimately finish earlier or
+later than the baseline — only the application results must be identical.
 Exits non-zero with a diagnostic on the first violation.
 """
 import json
@@ -29,18 +33,21 @@ def runs_by_key(d):
 
 
 def main():
-    if len(sys.argv) < 3:
+    argv = sys.argv[1:]
+    crash_mode = "--crash" in argv
+    argv = [a for a in argv if a != "--crash"]
+    if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
+    with open(argv[0]) as f:
         base = runs_by_key(json.load(f))
-    for path in sys.argv[2:]:
+    for path in argv[1:]:
         with open(path) as f:
             chaos = runs_by_key(json.load(f))
         if base.keys() != chaos.keys():
             fail(f"{path}: run set differs from baseline "
                  f"({sorted(base.keys() ^ chaos.keys())})")
-        dropped = retx = 0
+        dropped = retx = crashes = recoveries = 0
         for key, cr in chaos.items():
             br = base[key]
             if br["scalars"] != cr["scalars"]:
@@ -48,12 +55,22 @@ def main():
                      f"  baseline: {br['scalars']}\n  chaos:    {cr['scalars']}")
             dropped += cr["totals"]["faults_dropped"]
             retx += cr["totals"]["retransmits"]
-        if dropped == 0 or retx == 0:
-            fail(f"{path}: no faults were injected/recovered "
-                 f"(dropped={dropped}, retransmits={retx}) — chaos run "
-                 f"is vacuous; check the --faults spec")
-        print(f"{path}: ok ({len(chaos)} runs, {dropped} drops hidden by "
-              f"{retx} retransmissions)")
+            crashes += cr["totals"].get("crashes", 0)
+            recoveries += cr["totals"].get("recoveries", 0)
+        if crash_mode:
+            if crashes == 0 or recoveries == 0:
+                fail(f"{path}: no crashes were injected/recovered "
+                     f"(crashes={crashes}, recoveries={recoveries}) — crash "
+                     f"run is vacuous; check the --faults crash/crashp spec")
+            print(f"{path}: ok ({len(chaos)} runs, {crashes} crashes "
+                  f"repaired by {recoveries} node-rollbacks)")
+        else:
+            if dropped == 0 or retx == 0:
+                fail(f"{path}: no faults were injected/recovered "
+                     f"(dropped={dropped}, retransmits={retx}) — chaos run "
+                     f"is vacuous; check the --faults spec")
+            print(f"{path}: ok ({len(chaos)} runs, {dropped} drops hidden by "
+                  f"{retx} retransmissions)")
     return 0
 
 

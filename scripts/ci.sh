@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local CI entry point — the same two jobs the GitHub Actions workflow runs:
+# Local CI entry point — the same jobs the GitHub Actions workflow runs:
 #   scripts/ci.sh            tier-1 verify: configure, build, ctest, then a
 #                            bench smoke run with --json + --check-coherence
 #                            whose output is schema-validated
@@ -11,6 +11,14 @@
 #                            checker on; results must be bit-identical to
 #                            the fault-free baseline, and a 100%-drop run
 #                            must terminate via the stall watchdog (exit 86)
+#   scripts/ci.sh crash      crash gauntlet: fail-stop crashes with
+#                            checkpoint/rollback recovery across bench_paper
+#                            and bench_irreg at 8 and 256 nodes, two seeds
+#                            each; recovered results must be bit-identical
+#                            to the fault-free baseline and byte-identical
+#                            across --sim-threads={1,4} and --jobs={1,4};
+#                            a crash with --checkpoint-every=0 must exit 87
+#                            naming the crashed node
 #   scripts/ci.sh perf       perf-regression gate: bench_selfperf vs the
 #                            committed BENCH_PERF.json baseline, normalized
 #                            by host calibration, 20% tolerance band
@@ -118,6 +126,100 @@ case "$job" in
     }
     echo "chaos: dead-network run correctly exited 86 with link diagnostic"
     ;;
+  crash)
+    # Crash gauntlet: fail-stop node crashes repaired by checkpoint/rollback
+    # recovery. Every faulted run must replay to bit-identical application
+    # results (check_chaos.py --crash also rejects vacuous runs where no
+    # crash actually fired), and recovery must not perturb the deterministic
+    # simulation: the same crash schedule at --sim-threads={1,4} and
+    # --jobs={1,4} must produce byte-identical JSON.
+    cmake -B build -S . "$@"
+    cmake --build build -j "$jobs" --target bench_table3 bench_irreg
+    mkdir -p results
+    # Full table-3 suite at 8 nodes: fault-free baseline, then probabilistic
+    # crashes at two seeds with checkpoints every 4 barriers.
+    build/bench/bench_table3 --scale=0.05 --jobs="$jobs" --check-coherence \
+      --json=results/crash_baseline.json
+    for seed in 1 2; do
+      build/bench/bench_table3 --scale=0.05 --jobs="$jobs" --check-coherence \
+        --faults="crashp=0.002,seed=$seed" --checkpoint-every=4 \
+        --json="results/crash_seed$seed.json"
+    done
+    python3 scripts/check_results_json.py results/crash_baseline.json \
+      results/crash_seed1.json results/crash_seed2.json
+    python3 scripts/check_chaos.py --crash results/crash_baseline.json \
+      results/crash_seed1.json results/crash_seed2.json
+    # 256 nodes: a coordinated rollback restarts every node from the last
+    # checkpoint, so recovery correctness must hold at scale too.
+    build/bench/bench_table3 --nodes=256 --app=jacobi --scale=0.02 \
+      --jobs="$jobs" --check-coherence --json=results/crash_baseline_n256.json
+    # One explicit crash lands inside every config's run (shortest is
+    # ~31ms simulated); crashp adds seed-varying extras on top.
+    for seed in 1 2; do
+      build/bench/bench_table3 --nodes=256 --app=jacobi --scale=0.02 \
+        --jobs="$jobs" --check-coherence \
+        --faults="crash=7@15000000,crashp=0.0002,seed=$seed" \
+        --checkpoint-every=4 --json="results/crash_n256_seed$seed.json"
+    done
+    python3 scripts/check_results_json.py results/crash_baseline_n256.json \
+      results/crash_n256_seed1.json results/crash_n256_seed2.json
+    python3 scripts/check_chaos.py --crash results/crash_baseline_n256.json \
+      results/crash_n256_seed1.json results/crash_n256_seed2.json
+    # Irregular inspector-executor path: the rebuilt communication schedule
+    # after a rollback must gather exactly the same remote rows.
+    build/bench/bench_irreg --pattern=band --scale=0.05 --jobs="$jobs" \
+      --check-coherence --json=results/crash_irreg_baseline.json
+    for seed in 1 2; do
+      build/bench/bench_irreg --pattern=band --scale=0.05 --jobs="$jobs" \
+        --check-coherence --faults="crashp=0.05,seed=$seed" \
+        --checkpoint-every=4 --json="results/crash_irreg_seed$seed.json"
+    done
+    python3 scripts/check_results_json.py results/crash_irreg_baseline.json \
+      results/crash_irreg_seed1.json results/crash_irreg_seed2.json
+    python3 scripts/check_chaos.py --crash results/crash_irreg_baseline.json \
+      results/crash_irreg_seed1.json results/crash_irreg_seed2.json
+    # Determinism matrix: the identical crash schedule replayed under the
+    # windowed PDES (--sim-threads) and the batch runner (--jobs) must be
+    # byte-identical — crash draws are counter-mode, never wall-clock.
+    for st in 1 4; do
+      FGDSM_HOST_CORES=4 build/bench/bench_table3 --app=jacobi --scale=0.05 \
+        --sim-threads="$st" --check-coherence \
+        --faults="crashp=0.002,seed=1" --checkpoint-every=4 \
+        --json="results/crash_st$st.json"
+    done
+    cmp results/crash_st1.json results/crash_st4.json || {
+      echo "crash: recovered results differ across --sim-threads" >&2
+      exit 1
+    }
+    for j in 1 4; do
+      build/bench/bench_table3 --app=jacobi --scale=0.05 --jobs="$j" \
+        --check-coherence --faults="crashp=0.002,seed=1" \
+        --checkpoint-every=4 --json="results/crash_j$j.json"
+    done
+    cmp results/crash_j1.json results/crash_j4.json || {
+      echo "crash: recovered results differ across --jobs" >&2
+      exit 1
+    }
+    echo "crash: recovered results byte-identical at --sim-threads={1,4}" \
+      "and --jobs={1,4}"
+    # Unrecoverable-crash path: with checkpointing disabled a crash must
+    # terminate with the documented exit code and name the crashed node —
+    # never hang, never print a result.
+    rc=0
+    build/bench/bench_table3 --app=jacobi --scale=0.05 \
+      --faults="crash=1@2000000,seed=1" >/dev/null \
+      2>results/crash_norecover.log || rc=$?
+    if [[ "$rc" -ne 87 ]]; then
+      echo "crash: expected exit code 87 from unrecoverable crash, got $rc" >&2
+      exit 1
+    fi
+    grep -q "node 1 crashed with no checkpoint" results/crash_norecover.log || {
+      echo "crash: diagnostic missing crashed-node description:" >&2
+      cat results/crash_norecover.log >&2
+      exit 1
+    }
+    echo "crash: unrecoverable run correctly exited 87 naming node 1"
+    ;;
   perf)
     # Perf-regression gate: run the simulator self-benchmark and compare
     # against the committed baseline (BENCH_PERF.json) with a tolerance
@@ -204,8 +306,8 @@ case "$job" in
       -R "PartitionMerge"
     ;;
   *)
-    echo "unknown job '$job' (expected: verify | sanitize | chaos | perf |" \
-      "scale | simthreads | tsan)" >&2
+    echo "unknown job '$job' (expected: verify | sanitize | chaos | crash |" \
+      "perf | scale | simthreads | tsan)" >&2
     exit 2
     ;;
 esac

@@ -69,6 +69,14 @@ struct NodeRun {
   // structural symbols, so analysis + planning runs once per loop.
   core::PlanCache plan_cache;
 
+  // The plan for the loop currently executing. This lives here — not as an
+  // exec_loop_inner stack local — because checkpoint capture copies raw
+  // fiber-stack bytes: a heap-owning local that is live at a checkpoint
+  // barrier would come back as dangling pointers after a rollback (the
+  // abandoned timeline frees its heap before the restore). The fiber keeps
+  // only a reference to this member; the checkpoint restores its value.
+  CommPlan cur_plan;
+
   // Per-parallel-loop counter deltas, accumulated at phase boundaries.
   std::map<std::string, util::NodeStats> loop_stats;
 
@@ -81,6 +89,25 @@ struct NodeRun {
 
   util::NodeStats snap;      // stats at program completion
   sim::Time snap_time = 0;
+};
+
+// Host state a checkpoint must carry for one node (see the hook registered
+// in the Executor ctor): everything the replayed program path reads,
+// including the in-flight plan and the elision registries (opened ranges,
+// availability) — restored by value so the deterministic replay makes
+// exactly the decisions the checkpointed timeline would have, keeping the
+// collective any_comm/any_flush choices aligned with the rolled-back tags.
+// The plan cache is deliberately NOT touched at restore: it is pure
+// memoization of a deterministic analysis (either path yields byte-identical
+// plans), so entries from the abandoned timeline stay valid.
+struct NodeRunSnap {
+  Bindings bind;
+  std::map<std::string, double> scalars;
+  double reduce_acc = 0.0;
+  std::map<std::string, std::int64_t> write_version;
+  std::map<const hpf::ParallelLoop*, std::vector<Run>> opened;
+  std::map<const hpf::ParallelLoop*, NodeRun::AvailEntry> avail;
+  CommPlan cur_plan;
 };
 
 class ExecCtx final : public hpf::BodyCtx {
@@ -143,6 +170,13 @@ class Executor {
       lay.elem = 8;
       lay.base = cluster_.allocate(a.name, lay.bytes());
       layouts_[a.name] = lay;
+      // Storage the coherence tags cannot account for must be checkpointed
+      // unconditionally: replicated arrays are per-node private copies in
+      // every mode, and the MP backend bypasses access control for all of
+      // its arrays (each node's local copy is its own ground truth).
+      if (a.dist == hpf::DistKind::kReplicated ||
+          cfg_.opt.mode == Mode::kMsgPassing)
+        cluster_.capture_always(lay.base, lay.bytes());
     }
     switch (cfg_.opt.mode) {
       case Mode::kShmemUnopt:
@@ -163,6 +197,35 @@ class Executor {
         irreg::has_indirect(prog_))
       irreg_ = std::make_unique<irreg::IrregRuntime>(cluster_);
     nodes_.resize(static_cast<std::size_t>(cluster_.nnodes()));
+    // Crash recovery: the cluster checkpoint covers node memory, tags and
+    // task fibers, but the executor keeps per-node interpreter state on the
+    // host. The initial t=0 capture sees default-constructed NodeRuns —
+    // consistent with its not-yet-activated task snapshots (node_main
+    // re-initializes both on replay).
+    cluster_.register_host_state_hook(
+        {[this]() -> std::shared_ptr<void> {
+           auto blob = std::make_shared<std::vector<NodeRunSnap>>();
+           blob->reserve(nodes_.size());
+           for (const NodeRun& st : nodes_)
+             blob->push_back({st.bind, st.scalars, st.reduce_acc,
+                              st.write_version, st.opened, st.avail,
+                              st.cur_plan});
+           return blob;
+         },
+         [this](const std::shared_ptr<void>& b) {
+           const auto& snap =
+               *std::static_pointer_cast<std::vector<NodeRunSnap>>(b);
+           for (std::size_t i = 0; i < nodes_.size(); ++i) {
+             NodeRun& st = nodes_[i];
+             st.bind = snap[i].bind;
+             st.scalars = snap[i].scalars;
+             st.reduce_acc = snap[i].reduce_acc;
+             st.write_version = snap[i].write_version;
+             st.opened = snap[i].opened;
+             st.avail = snap[i].avail;
+             st.cur_plan = snap[i].cur_plan;
+           }
+         }});
   }
 
   RunResult execute() {
@@ -264,7 +327,8 @@ class Executor {
     delta -= before;
     st.loop_stats[loop.name] += delta;
     if (auto* tr = cluster_.tracer())
-      tr->span(sim::Tracer::compute_track(st.node->id()), "loop", loop.name,
+      tr->span(sim::Tracer::compute_track(st.node->id()), "loop",
+               tr->intern(loop.name),
                lt0, st.task->now());
   }
 
@@ -286,7 +350,10 @@ class Executor {
     }
 
     const bool irregular = irreg::has_indirect(loop);
-    CommPlan plan;
+    // Host-resident plan (see NodeRun::cur_plan): the fiber stack must not
+    // own heap across the checkpoint barriers below.
+    CommPlan& plan = st.cur_plan;
+    plan = CommPlan{};
     if (cfg_.opt.mode == Mode::kShmemOpt || cfg_.opt.mode == Mode::kMsgPassing)
       plan = irregular ? plan_for_irreg_loop(loop, st)
                        : plan_for_loop(loop, st);
@@ -302,7 +369,7 @@ class Executor {
     if (irregular && plan.any_comm)
       if (auto* tr = cluster_.tracer())
         tr->span(sim::Tracer::compute_track(n.id()), "schedule-exec",
-                 loop.name, sched0, t.now());
+                 tr->intern(loop.name), sched0, t.now());
 
     run_chunks(loop, st, iters, /*checks=*/shmem(), 1.0);
 
@@ -440,8 +507,8 @@ class Executor {
         core::plan_from_transfers(transfers, layouts_, me, bs, align);
     n.stats.ccc_ns += t.now() - t0;
     if (auto* tr = cluster_.tracer())
-      tr->span(sim::Tracer::compute_track(me), "inspect", loop.name, t0,
-               t.now());
+      tr->span(sim::Tracer::compute_track(me), "inspect",
+               tr->intern(loop.name), t0, t.now());
     if (cfg_.opt.plan_cache && st.plan_cache.should_store(loop))
       st.plan_cache.insert(loop, prog_, st.bind, std::move(transfers), plan,
                            extra);

@@ -62,6 +62,34 @@ IrregRuntime::IrregRuntime(tempest::Cluster& cluster)
           st.stash[seq].push_back(std::move(m));
         }
       });
+  // Crash recovery: the exchange sequence, buffered per-sender lists and
+  // future-sequence stash are host state the cluster checkpoint cannot see.
+  // The semaphore is captured as a count and force-restored — a rolled-back
+  // waiter resumes inside its wait loop and re-evaluates against it.
+  struct NodeSnap {
+    std::int64_t seq;
+    std::vector<std::vector<Need>> recv;
+    std::map<std::int64_t, std::vector<sim::Message>> stash;
+    std::int64_t sem;
+  };
+  cluster_.register_host_state_hook(
+      {[this]() -> std::shared_ptr<void> {
+         auto blob = std::make_shared<std::vector<NodeSnap>>();
+         blob->reserve(st_.size());
+         for (const NodeState& st : st_)
+           blob->push_back({st.seq, st.recv, st.stash, st.sem.count()});
+         return blob;
+       },
+       [this](const std::shared_ptr<void>& b) {
+         const auto& snap =
+             *std::static_pointer_cast<std::vector<NodeSnap>>(b);
+         for (std::size_t i = 0; i < st_.size(); ++i) {
+           st_[i].seq = snap[i].seq;
+           st_[i].recv = snap[i].recv;
+           st_[i].stash = snap[i].stash;
+           st_[i].sem.restore_for_recovery(snap[i].sem);
+         }
+       }});
 }
 
 void IrregRuntime::apply(NodeState& st, const sim::Message& m) {

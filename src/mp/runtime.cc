@@ -28,6 +28,16 @@ MpRuntime::MpRuntime(tempest::Cluster& cluster)
           st.stash[epoch].push_back(std::move(m));
         }
       });
+  // Crash recovery: epochs and stashed future-epoch payloads are host state
+  // the cluster checkpoint cannot see. NodeState is deep-copyable (payloads
+  // are owned vectors), so the whole table is the snapshot.
+  cluster_.register_host_state_hook(
+      {[this]() -> std::shared_ptr<void> {
+         return std::make_shared<std::vector<NodeState>>(st_);
+       },
+       [this](const std::shared_ptr<void>& b) {
+         st_ = *std::static_pointer_cast<std::vector<NodeState>>(b);
+       }});
 }
 
 void MpRuntime::apply(Node& node, const sim::Message& m) {

@@ -872,6 +872,46 @@ void Stache::check_invariants(Node& node) {
   FGDSM_ASSERT_MSG(false, os.str());
 }
 
+std::shared_ptr<void> Stache::capture_snapshot(Node& node) {
+  const std::size_t n = static_cast<std::size_t>(node.id());
+  auto s = std::make_shared<NodeSnapshot>();
+  for (const DirEntry& e : dir_[n])
+    FGDSM_ASSERT_MSG(!e.busy && e.queue_empty(),
+                     "checkpoint capture at a non-quiescent directory (node "
+                         << node.id() << ")");
+  s->dir = dir_[n];
+  s->ccc_open = ccc_open_[n];
+  const NodeState& st = nodes_[n];
+  s->upgrade = st.upgrade;
+  s->outstanding = st.outstanding;
+  s->miss_sem = st.miss_sem.count();
+  s->drain_sem = st.drain_sem.count();
+  return s;
+}
+
+void Stache::restore_snapshot(Node& node, const std::shared_ptr<void>& sp) {
+  const std::size_t n = static_cast<std::size_t>(node.id());
+  NodeState& st = nodes_[n];
+  if (sp == nullptr) {
+    // Pristine initial state: an empty directory (entries regrow on first
+    // request) and no transaction bookkeeping.
+    dir_[n].clear();
+    ccc_open_[n].clear();
+    st.outstanding = 0;
+    st.upgrade.clear();
+    st.miss_sem.restore_for_recovery(0);
+    st.drain_sem.restore_for_recovery(0);
+    return;
+  }
+  const auto& s = *std::static_pointer_cast<NodeSnapshot>(sp);
+  dir_[n] = s.dir;
+  ccc_open_[n] = s.ccc_open;
+  st.outstanding = s.outstanding;
+  st.upgrade = s.upgrade;
+  st.miss_sem.restore_for_recovery(s.miss_sem);
+  st.drain_sem.restore_for_recovery(s.drain_sem);
+}
+
 void Stache::h_ccc_flush(Node& self, sim::Message& m, HandlerClock& clk) {
   FGDSM_LOG("ccc", "cccflush@" << self.id() << " addr=" << m.addr << " len="
                                << m.payload.size() << " t=" << clk.t);

@@ -143,6 +143,14 @@ class Stache : public tempest::Protocol {
   // tempest::Protocol hook: asserts find_violations() is empty.
   void check_invariants(Node& node) override;
 
+  // ---- Checkpoint / rollback (crash recovery) ----
+  // Per-node protocol state at a quiescent point: the directory entries
+  // homed at the node (all idle — no busy entries or queued requests), its
+  // compiler-contracted opens, and its (drained) transaction bookkeeping.
+  std::shared_ptr<void> capture_snapshot(Node& node) override;
+  void restore_snapshot(Node& node,
+                        const std::shared_ptr<void>& s) override;
+
  private:
   struct Txn {
     enum class Kind : std::uint8_t { kRead, kWrite, kFetchExcl };
@@ -197,6 +205,15 @@ class Stache : public tempest::Protocol {
     // live at once (bounded by its outstanding transactions), so a flat
     // vector beats a hash map on every note_writes probe.
     std::vector<PendingUpgrade> upgrade;
+  };
+  // One node's capture_snapshot payload (opaque to the cluster).
+  struct NodeSnapshot {
+    std::vector<DirEntry> dir;
+    std::unordered_set<BlockId> ccc_open;
+    std::vector<PendingUpgrade> upgrade;
+    int outstanding = 0;
+    std::int64_t miss_sem = 0;
+    std::int64_t drain_sem = 0;
   };
 
   // Handler bodies (run at the node owning the directory / the copy).

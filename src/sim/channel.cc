@@ -161,8 +161,12 @@ Time ReliableChannel::send(Time earliest, Message msg) {
 void ReliableChannel::arm_retransmit(int src, int dst, std::uint64_t seq,
                                      int attempt) {
   const Time base = engine_.now();
-  const Time backoff = cfg_.rto_ns << attempt;  // exponential
+  // Exponential with a cap: uncapped doubling made late probes of a dead
+  // link minutes of virtual time apart, pushing detection past the watchdog.
+  const Time backoff =
+      cfg_.rto_ns << (attempt < kBackoffCapShift ? attempt : kBackoffCapShift);
   engine_.schedule(base + backoff, [this, src, dst, seq, attempt] {
+    if (down_ && down_(src)) return;  // a dead node does not retransmit
     TxLink* tp = tx_find(src, dst);
     if (tp == nullptr) return;  // link never materialized — nothing retained
     TxLink& t = *tp;
@@ -191,11 +195,14 @@ void ReliableChannel::arm_retransmit(int src, int dst, std::uint64_t seq,
 
 void ReliableChannel::fail_retries(int src, int dst, std::uint64_t seq,
                                    const Message& m, int attempts) {
+  const TxLink* tp = tx_find(src, dst);
   std::ostringstream os;
   os << "reliable channel: retry budget exhausted on link " << src << "->"
      << dst << " (" << type_name(m.type) << " seq " << seq << " after "
-     << attempts << " retransmissions, budget " << cfg_.max_retries
-     << "); link is effectively dead";
+     << attempts << " retransmissions, budget " << cfg_.max_retries << ", "
+     << (tp != nullptr ? tp->live_count : 0)
+     << " unacked on link); link is effectively dead — peer node " << dst
+     << " is unresponsive";
   engine_.fail_stall(os.str());
 }
 
@@ -213,6 +220,10 @@ void ReliableChannel::process_ack(int tx_src, int tx_dst, std::uint64_t ack) {
 }
 
 void ReliableChannel::on_receive(int node, Message&& m, Time arrival) {
+  // A fail-stopped node receives nothing: no delivery, no ack processing,
+  // no duplicate bookkeeping. Its silence is what peers eventually detect
+  // as retry-budget exhaustion.
+  if (down_ && down_(node)) return;
   // A cumulative ack rides on every wire message: it acknowledges the
   // traffic `node` sent to m.src.
   if (m.src != node && m.ch_ack > 0) process_ack(node, m.src, m.ch_ack);
@@ -275,6 +286,7 @@ void ReliableChannel::schedule_pure_ack(int from, int to) {
   engine_.schedule(engine_.now() + cfg_.ack_delay_ns, [this, from, to] {
     RxLink& rx = this->rx(to, from);
     rx.ack_timer_armed = false;
+    if (down_ && down_(from)) return;  // a dead node does not ack
     if (rx.last_ack_sent >= rx.cum && rx.ooo.empty())
       return;  // reverse traffic piggybacked it already and nothing is stuck
     Message ack;
@@ -287,6 +299,41 @@ void ReliableChannel::schedule_pure_ack(int from, int to) {
     if (util::NodeStats* st = stats_for(from)) ++st->channel_acks;
     net_.send(engine_.now(), std::move(ack));
   });
+}
+
+void ReliableChannel::reset_for_recovery() {
+  // Common restart base: past every sequence number ever assigned in either
+  // direction, so any copy still in flight from the abandoned timeline
+  // compares <= the base and is suppressed as a duplicate.
+  std::uint64_t base = initial_seq_;
+  for (const TxLink& t : tx_) base = std::max(base, t.next_seq);
+  for (const RxLink& r : rx_) base = std::max(base, r.cum);
+  for (const auto& m : tx_sparse_)
+    for (const auto& [d, t] : m) base = std::max(base, t.next_seq);
+  for (const auto& m : rx_sparse_)
+    for (const auto& [s, r] : m) base = std::max(base, r.cum);
+
+  const auto reset_tx = [base](TxLink& t) {
+    t.next_seq = base;
+    t.acked = base;
+    t.win_base = base + 1;
+    t.live_count = 0;
+    t.ring.clear();
+  };
+  const auto reset_rx = [base](RxLink& r) {
+    r.cum = base;
+    r.last_ack_sent = base;
+    r.ack_timer_armed = false;
+    r.ooo.clear();
+  };
+  for (TxLink& t : tx_) reset_tx(t);
+  for (RxLink& r : rx_) reset_rx(r);
+  for (auto& m : tx_sparse_)
+    for (auto& [d, t] : m) reset_tx(t);
+  for (auto& m : rx_sparse_)
+    for (auto& [s, r] : m) reset_rx(r);
+  // Links materializing after recovery inherit the same base (tx()/rx()).
+  initial_seq_ = base;
 }
 
 std::size_t ReliableChannel::resident_links() const {

@@ -82,6 +82,29 @@ class ReliableChannel {
     type_name_ = std::move(fn);
   }
 
+  // Crash mode: `down(node)` answers whether the node is currently
+  // fail-stopped. A down node neither receives (inbound traffic at it is
+  // dropped before ack processing — it stops acking, which is exactly the
+  // detection signal), nor retransmits, nor sends pure acks. The probe is
+  // only consulted at partition-safe sites: the receive path and timer
+  // bodies all run in the probed node's own partition.
+  void set_down_probe(std::function<bool(int)> down) {
+    down_ = std::move(down);
+  }
+
+  // Rollback-restart: drop every retained copy, out-of-order buffer and
+  // timer obligation, and restart all links (resident and future) at a
+  // common sequence base past every seq ever assigned. In-flight copies
+  // from the abandoned timeline then land strictly at-or-below the new base
+  // and are suppressed as duplicates, while post-recovery traffic sequences
+  // cleanly — the same inheritance path PR'd for set_initial_seq.
+  void reset_for_recovery();
+
+  // Exponential-backoff cap: RTO << min(attempt, kBackoffCapShift). Bounds
+  // the inter-probe gap on a dead link (and so crash-detection latency) to
+  // 2^6 * rto while keeping early backoff exponential.
+  static constexpr int kBackoffCapShift = 6;
+
   // Sequence msg, stamp the piggyback ack, retain a retransmission copy and
   // arm its timer, then hand it to the network. Returns injection end (same
   // contract as Network::send). Loopback messages bypass the channel.
@@ -176,6 +199,7 @@ class ReliableChannel {
   std::vector<Network::DeliverFn> deliver_;  // app sinks, per node
   std::vector<util::NodeStats*> stats_;
   std::function<const char*(std::uint16_t)> type_name_;
+  std::function<bool(int)> down_;  // null = no node is ever down
 };
 
 }  // namespace fgdsm::sim

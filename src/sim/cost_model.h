@@ -57,6 +57,15 @@ struct CostModel {
   double mp_per_byte_extra_ns = 120.0;
   std::size_t mp_max_payload = 16384;    // section bytes per message
 
+  // ---- Checkpointing (crash recovery, --checkpoint-every) ----
+  // A checkpoint happens at a barrier-completion quiescent point: fixed
+  // coordination cost plus a per-byte serialization charge for the state
+  // each node contributes (owned pages, tags, directory, runtime books).
+  // Modeled on local-disk/memory checkpoint streaming — cheaper per byte
+  // than wire bandwidth, far from free.
+  Time ckpt_base_ns = 50 * kUs;
+  double ckpt_ns_per_byte = 1.0;
+
   // ---- Computation ----
   // The paper's uniprocessor baselines "are not blocked for cache
   // performance", producing superlinear parallel speedups; this factor

@@ -60,6 +60,11 @@ void exit_stall(const StallError& e) {
   std::exit(kStallExitCode);
 }
 
+void exit_crash(const CrashError& e) {
+  std::fprintf(stderr, "fgdsm: unrecoverable node crash\n%s\n", e.what());
+  std::exit(kCrashExitCode);
+}
+
 Engine::~Engine() {
   FGDSM_ASSERT_MSG(tasks_.empty(),
                    "engine destroyed with " << tasks_.size()
@@ -320,7 +325,15 @@ void Engine::run_windowed() {
         const Time f = p.front_time();
         if (f < safe) safe = f;
       }
-      if (safe == kTimeInfinity) break;
+      if (safe == kTimeInfinity) {
+        // Queues drained with tasks still blocked: normally a deadlock
+        // (diagnosed after the loop), but with a crashed node it means the
+        // survivors are parked waiting on the dead peer — give the recovery
+        // hook a chance to roll back and repopulate the queues.
+        if (recovery_hook_ && any_task_unfinished_raw() && recovery_hook_())
+          continue;
+        break;
+      }
       now_ = safe;
       tasks_done_snapshot_ = !any_task_unfinished_raw();
       if (watchdog_ns_ > 0 && !tasks_done_snapshot_) {
@@ -328,6 +341,10 @@ void Engine::run_windowed() {
         for (const Partition& p : parts_)
           progress = std::max(progress, p.last_progress);
         if (safe - progress > watchdog_ns_) {
+          if (recovery_hook_ && recovery_hook_()) {
+            for (Partition& p : parts_) p.last_progress = p.now;
+            continue;
+          }
           std::ostringstream os;
           os << "watchdog: no compute-task progress for " << (safe - progress)
              << " virtual ns (threshold " << watchdog_ns_ << ")";
@@ -341,6 +358,30 @@ void Engine::run_windowed() {
         drain_partition(parts_[static_cast<std::size_t>(i)], window_end_);
       finish.arrive_and_wait();
       merge_cross(scratch);
+      // Every partition has drained the window and the crew is parked at
+      // the start barrier: task fibers are host-quiescent, so a checkpoint
+      // capture requested by an event inside this window can walk them now.
+      if (window_hook_) window_hook_();
+      // A partition stall (channel retry-budget exhaustion) is the crash
+      // detection signal: when a recovery hook is installed and no partition
+      // carries a real error, let it repair the cluster instead of
+      // composing a stall report. Hard errors always rethrow.
+      if (recovery_hook_) {
+        bool any_error = false;
+        bool any_stall = false;
+        for (const Partition& p : parts_) {
+          if (p.error) any_error = true;
+          if (p.stalled) any_stall = true;
+        }
+        if (!any_error && any_stall && recovery_hook_()) {
+          for (Partition& p : parts_) {
+            p.stalled = false;
+            p.stall_reason.clear();
+            p.last_progress = p.now;
+          }
+          continue;
+        }
+      }
       throw_partition_error();
     }
     for (const Partition& p : parts_) now_ = std::max(now_, p.now);

@@ -105,6 +105,22 @@ inline constexpr int kStallExitCode = 86;
 // The standard catch-site epilogue for harness main()s.
 [[noreturn]] void exit_stall(const StallError& e);
 
+// Thrown when a node suffered an unrecoverable fail-stop crash: crash
+// injection is on but no checkpoint exists to roll back to
+// (--checkpoint-every=0). Carries a structured diagnostic naming the dead
+// node, so harnesses exit with kCrashExitCode instead of hanging or
+// reporting a generic stall.
+class CrashError : public AssertionError {
+ public:
+  explicit CrashError(const std::string& what) : AssertionError(what) {}
+};
+
+// Distinct process exit code for unrecoverable-crash terminations.
+inline constexpr int kCrashExitCode = 87;
+
+// Print the crash diagnostic and terminate with the documented exit code.
+[[noreturn]] void exit_crash(const CrashError& e);
+
 class Engine {
  public:
   Engine() : parts_(1) { parts_[0].index = 0; }
@@ -253,6 +269,42 @@ class Engine {
     stall_reporter_ = std::move(fn);
   }
 
+  // ---- Crash recovery hook (windowed runs) ----
+  // Called single-threaded from the coordinator, between window barriers,
+  // whenever the run would otherwise fail or finish with unfinished tasks:
+  // (a) a partition stalled (channel retry-budget exhaustion — the crash
+  // detection signal), (b) the watchdog fired, or (c) every queue drained
+  // while tasks remain blocked. Return true to mean "state repaired, keep
+  // running" (the hook typically rolled the cluster back to a checkpoint and
+  // scheduled fresh resume events); false to proceed with the normal
+  // failure path. The hook may itself throw (e.g. CrashError when no
+  // checkpoint exists). No hook, or a single-partition engine, behaves
+  // exactly as before.
+  void set_recovery_hook(std::function<bool()> fn) {
+    recovery_hook_ = std::move(fn);
+  }
+
+  // ---- Window hook (windowed runs) ----
+  // Called single-threaded from the coordinator at every window barrier,
+  // right after the cross-partition merge: every partition has fully drained
+  // its window, so all task fibers are host-quiescent and may be inspected.
+  // The cluster uses it to capture checkpoints requested by an event earlier
+  // in the window (the request itself runs inside a partition drain, where
+  // other partitions' fibers may still be executing on their workers).
+  void set_window_hook(std::function<void()> fn) {
+    window_hook_ = std::move(fn);
+  }
+
+  // Latest committed virtual time across all partitions — the earliest
+  // instant a recovery hook may schedule new events at (coordinator context
+  // only; used to place the rollback resume time).
+  Time max_partition_now() const {
+    Time t = now_;
+    for (const Partition& p : parts_)
+      if (p.now > t) t = p.now;
+    return t;
+  }
+
   // Compose `reason` + blocked-task dump + reporter context and throw
   // StallError. Also the failure entry point for the reliable channel's
   // retry-budget exhaustion. Inside a windowed drain the composition is
@@ -398,6 +450,8 @@ class Engine {
   int sim_threads_ = 1;
   Time watchdog_ns_ = 0;  // 0 = watchdog off
   std::function<std::string()> stall_reporter_;
+  std::function<bool()> recovery_hook_;
+  std::function<void()> window_hook_;
   Time now_ = 0;  // committed global time (outside any drain)
   // Window state: written by the coordinator between barriers, read by
   // workers during the window (the barrier provides the ordering).

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/util/assert.h"
+#include "src/util/options.h"
 
 namespace fgdsm::sim {
 
@@ -70,10 +71,29 @@ FaultConfig FaultConfig::parse(const std::string& spec, std::string* error) {
     } else if (key == "retries") {
       ok = parse_u64(val, &u) && u <= 30;  // 2^30 * rto already absurd
       c.max_retries = static_cast<int>(u);
+    } else if (key == "crash") {
+      // crash=<node>@<ns>: fail-stop the node at that virtual time.
+      // Repeatable; each occurrence appends one scheduled crash.
+      const std::size_t at = val.find('@');
+      std::uint64_t node = 0, ns = 0;
+      ok = at != std::string::npos && at > 0 &&
+           parse_u64(val.substr(0, at), &node) &&
+           parse_u64(val.substr(at + 1), &ns) && node <= 0x7fffffffull;
+      if (ok)
+        c.crashes.emplace_back(static_cast<int>(node),
+                               static_cast<Time>(ns));
+    } else if (key == "crashp") {
+      ok = parse_rate(val, &c.crashp);
     } else {
-      *error = "unknown fault key '" + key +
-               "' (expected drop/dup/delay/reorder/delay-ns/rto-ns/seed/"
-               "retries)";
+      static const std::vector<std::string> kKnown = {
+          "drop",   "dup",  "delay",   "reorder", "delay-ns",
+          "rto-ns", "seed", "retries", "crash",   "crashp"};
+      const std::string hint = util::Options::closest_match(key, kKnown);
+      *error = "unknown fault key '" + key + "'" +
+               (hint.empty() ? std::string() :
+                               " (did you mean '" + hint + "'?)") +
+               "; expected drop/dup/delay/reorder/delay-ns/rto-ns/seed/"
+               "retries/crash/crashp";
       return FaultConfig{};
     }
     if (!ok) {
@@ -89,6 +109,9 @@ std::string FaultConfig::summary() const {
   os << "drop=" << drop << " dup=" << dup << " delay=" << delay
      << " reorder=" << reorder << " seed=" << seed
      << " retries=" << max_retries;
+  if (crashp > 0.0) os << " crashp=" << crashp;
+  for (const auto& [node, t] : crashes)
+    os << " crash=" << node << "@" << t;
   return os.str();
 }
 
@@ -112,6 +135,18 @@ std::uint64_t FaultInjector::hash(int src, int dst, std::uint64_t n,
   // Mixing in stages keeps every (seed, link, index, salt) draw independent.
   return mix64(mix64(mix64(cfg_.seed ^ 0x5eedull) ^ link) ^
                (n * 4 + salt));
+}
+
+bool FaultInjector::crash_at_barrier(int node, std::uint64_t epoch) const {
+  if (cfg_.crashp <= 0.0) return false;
+  // Disjoint chain from the per-link draws: a different salt on the seed
+  // stage means no (link, index) message draw can collide with a
+  // (node, epoch) crash draw. Stateless — safe from any thread.
+  const std::uint64_t h =
+      mix64(mix64(mix64(cfg_.seed ^ 0xc7a5b1ull) ^
+                  static_cast<std::uint64_t>(node)) ^
+            epoch);
+  return u01(h) < cfg_.crashp;
 }
 
 FaultInjector::Decision FaultInjector::decide(int src, int dst) {

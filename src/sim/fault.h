@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -41,9 +42,23 @@ struct FaultConfig {
   int max_retries = 10;    // channel retry budget per message (0 = none)
   Time rto_ns = 0;         // channel base retransmission timeout (0 = default)
 
+  // Fail-stop crashes. `crashes` holds explicit schedules
+  // (crash=<node>@<ns>, repeatable: the node dies at that virtual time);
+  // `crashp` is the per-(node, barrier-epoch) crash probability, drawn
+  // counter-mode like every other fault so runs are bit-identical at any
+  // --jobs/--sim-threads. Recovery requires checkpointing
+  // (--checkpoint-every=K); without it a crash is a structured stall.
+  std::vector<std::pair<int, Time>> crashes;  // (node, virtual ns)
+  double crashp = 0.0;
+
+  bool has_crashes() const { return !crashes.empty() || crashp > 0.0; }
+
   // Parse a comma-separated key=value spec. On error, returns a disabled
   // config and stores a human-readable message in *error (empty on success).
   // A bare/empty spec ("--faults") enables chaos plumbing with zero rates.
+  // Unknown keys are rejected with a Levenshtein "did you mean" suggestion
+  // (the util::Options strict-mode diagnostic), so a typo like crahsp=0.1
+  // cannot silently disable the fault it meant to enable.
   static FaultConfig parse(const std::string& spec, std::string* error);
 
   std::string summary() const;  // "drop=0.01 dup=0 ... seed=42" (diagnostics)
@@ -71,6 +86,13 @@ class FaultInjector {
     Time dup_delay = 0;    // added on top for the duplicate copy
   };
   Decision decide(int src, int dst);
+
+  // Probabilistic fail-stop draw: does `node` crash at its `epoch`-th
+  // barrier? Pure counter-mode hash of (seed, node, epoch) on a chain
+  // disjoint from the per-link message draws, so crash verdicts are
+  // independent of traffic and bit-identical at any --jobs/--sim-threads.
+  // Stateless and const: the same (node, epoch) always answers the same.
+  bool crash_at_barrier(int node, std::uint64_t epoch) const;
 
   const FaultConfig& config() const { return cfg_; }
   Time window() const { return window_; }

@@ -37,6 +37,7 @@ Time Network::send(Time earliest, Message msg) {
   FGDSM_ASSERT(msg.src >= 0 && msg.src < static_cast<int>(tx_.size()));
   FGDSM_ASSERT_MSG(msg.dst >= 0 && msg.dst < static_cast<int>(tx_.size()),
                    "bad destination " << msg.dst);
+  if (epoch_stamp_ != nullptr) msg.epoch = *epoch_stamp_;
   const std::int64_t bytes = msg.size_bytes(costs_.msg_header_bytes);
   TxCounters& acct = counters_[msg.src];
   ++acct.messages;

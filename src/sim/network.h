@@ -21,6 +21,13 @@ struct Message {
   int src = -1;
   int dst = -1;
   std::uint16_t type = 0;
+  // Recovery-epoch stamp (crash/rollback mode; sits in the padding after
+  // `type`, so Message stays within the inline event buffer). The cluster
+  // stamps every transmitted message with the current recovery epoch and
+  // drops deliveries stamped with an older one — this is what kills stale
+  // loopback messages, which bypass channel sequencing entirely. Always 0
+  // in fault-free runs.
+  std::uint32_t epoch = 0;
   std::uint64_t addr = 0;                 // usually a global byte address
   std::array<std::int64_t, 4> arg{};      // small scalar arguments
   std::vector<std::byte> payload;         // optional data
@@ -95,6 +102,11 @@ class Network {
   // disabled path is this pointer test.
   void set_fault_injector(FaultInjector* f) { fault_ = f; }
 
+  // Crash mode: stamp every message with *epoch at send time (see
+  // Message::epoch). The pointer targets the cluster's recovery-epoch
+  // counter; null (the default) leaves the stamp at 0.
+  void set_epoch_stamp(const std::uint32_t* epoch) { epoch_stamp_ = epoch; }
+
   // Transmit msg; the sender's NI is occupied starting no earlier than
   // `earliest` (typically the sending cpu's clock after it has charged
   // msg_send_overhead) for the wire-serialization time. Returns serialization
@@ -138,6 +150,7 @@ class Network {
   std::vector<Resource> tx_;  // one transmit resource per node
   std::vector<DeliverFn> deliver_;
   FaultInjector* fault_ = nullptr;
+  const std::uint32_t* epoch_stamp_ = nullptr;
   std::vector<TxCounters> counters_;  // indexed by msg.src
 };
 

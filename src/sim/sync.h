@@ -60,6 +60,16 @@ class Semaphore {
     count_ = 0;
   }
 
+  // Rollback-restart support: force the semaphore to `count` with no waiter
+  // registered. A task restored from a checkpoint resumes *inside* its wait
+  // loop and re-evaluates the condition against this count (re-registering
+  // itself if it must keep blocking), so the waiter slot must be empty.
+  void restore_for_recovery(std::int64_t count) {
+    count_ = count;
+    waiter_ = nullptr;
+    need_ = 0;
+  }
+
  private:
   const char* name_ = "semaphore";
   std::int64_t count_ = 0;

@@ -1,5 +1,7 @@
 #include "src/sim/task.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <utility>
 
 #include "src/util/assert.h"
@@ -41,7 +43,9 @@ void Task::start(Time t) {
   started_ = true;
   clock_ = t;
   state_ = State::kReady;
-  engine_.schedule_task_resume(partition_, t, [this] { resume_for_engine(); });
+  engine_.schedule_task_resume(partition_, t, [this, e = epoch_] {
+    if (e == epoch_) resume_for_engine();
+  });
 }
 
 void Task::trampoline_entry() {
@@ -106,8 +110,9 @@ void Task::absorb_cpu_steal() {
 
 void Task::yield_here() {
   state_ = State::kReady;
-  engine_.schedule_task_resume(partition_, clock_,
-                               [this] { resume_for_engine(); });
+  engine_.schedule_task_resume(partition_, clock_, [this, e = epoch_] {
+    if (e == epoch_) resume_for_engine();
+  });
   switch_to_engine();
   absorb_cpu_steal();
 }
@@ -180,7 +185,78 @@ void Task::wake(Time t) {
   // to block; schedule a resume no earlier than t.
   pending_wake_time_ = t > clock_ ? t : clock_;
   engine_.schedule_task_resume(partition_, pending_wake_time_,
-                               [this] { resume_for_engine(); });
+                               [this, e = epoch_] {
+                                 if (e == epoch_) resume_for_engine();
+                               });
+}
+
+void Task::halt() {
+  FGDSM_ASSERT_MSG(state_ != State::kRunning,
+                   "halt() from inside the task body");
+  ++epoch_;  // orphan scheduled resumes
+  if (state_ != State::kFinished && state_ != State::kNotStarted) {
+    state_ = State::kBlocked;
+    wait_reason_ = "crashed (fail-stop)";
+  }
+}
+
+Task::Snapshot Task::snapshot() const {
+  FGDSM_ASSERT_MSG(state_ != State::kRunning,
+                   "snapshot() of a running task");
+  Snapshot s;
+  s.clock = clock_;
+  s.state = state_;
+  s.pending_wake_time = pending_wake_time_;
+  s.wait_reason = wait_reason_;
+  s.started = started_;
+  s.fiber = fiber_;
+  if (fiber_.uc_stack.ss_sp != nullptr) {
+    // Only the live region matters: the fiber stack grows downward from
+    // stack_.end(), so everything below the saved stack pointer (minus the
+    // ABI red zone) is dead. Falls back to the whole stack when the saved SP
+    // is not recoverable from the mcontext.
+    std::size_t off = 0;
+#if defined(__linux__) && defined(__x86_64__) && defined(REG_RSP)
+    const auto sp =
+        static_cast<std::uintptr_t>(fiber_.uc_mcontext.gregs[REG_RSP]);
+    const auto base = reinterpret_cast<std::uintptr_t>(stack_.data());
+    constexpr std::uintptr_t kRedZone = 256;  // ABI says 128; keep margin
+    if (sp > base + kRedZone && sp <= base + stack_.size())
+      off = static_cast<std::size_t>(sp - base - kRedZone);
+#endif
+    s.stack_offset = off;
+    s.stack.assign(stack_.begin() + static_cast<std::ptrdiff_t>(off),
+                   stack_.end());
+  }
+  return s;
+}
+
+void Task::restore(const Snapshot& s, Time resume_at) {
+  ++epoch_;  // resume events from the abandoned timeline become no-ops
+  clock_ = s.clock;
+  state_ = s.state;
+  pending_wake_time_ = s.pending_wake_time;
+  wait_reason_ = s.wait_reason;
+  started_ = s.started;
+  cancel_ = false;
+  exception_ = nullptr;
+  fiber_ = s.fiber;
+  if (!s.stack.empty())
+    std::copy(s.stack.begin(), s.stack.end(),
+              stack_.begin() + static_cast<std::ptrdiff_t>(s.stack_offset));
+  // fiber_.uc_stack/uc_link and the mcontext fpregs pointer reference this
+  // task's own members; restoring into the same Task keeps them valid.
+  if (state_ == State::kBlocked) {
+    wake(resume_at);
+  } else {
+    // Initial-state snapshot (kReady, body never entered): restart the body
+    // from the top at the rollback time.
+    clock_ = resume_at;
+    pending_wake_time_ = resume_at;
+    engine_.schedule_task_resume(partition_, resume_at, [this, e = epoch_] {
+      if (e == epoch_) resume_for_engine();
+    });
+  }
 }
 
 }  // namespace fgdsm::sim

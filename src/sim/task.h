@@ -69,6 +69,42 @@ class Task {
   // Wake a blocked task; it resumes no earlier than virtual time t.
   void wake(Time t);
 
+  // ---- Crash / rollback support (engine context only) ----
+
+  // Fail-stop halt: park the task permanently and orphan every resume event
+  // already scheduled for it (the events carry the resume epoch and fire as
+  // no-ops once it moves). The fiber context is left intact so ~Task can
+  // still unwind it, and restore() can later bring the task back.
+  void halt();
+
+  // A resumable copy of the task's execution state: the live region of the
+  // fiber stack, the ucontext, clock and blocking state. Only valid for
+  // restore() on the SAME Task object (the ucontext's stack pointer and
+  // fpregs pointer reference this task's own members).
+ private:
+  enum class State : std::uint8_t { kNotStarted, kReady, kRunning, kBlocked,
+                                    kFinished };
+
+ public:
+  struct Snapshot {
+    std::vector<char> stack;     // bytes [stack_offset, kStackBytes)
+    std::size_t stack_offset = 0;
+    ucontext_t fiber{};
+    Time clock = 0;
+    State state;
+    Time pending_wake_time = 0;
+    const char* wait_reason = nullptr;
+    bool started = false;
+    std::size_t bytes() const { return stack.size() + sizeof(ucontext_t); }
+  };
+  // Capture the current state. The task must not be running (it is blocked
+  // at a quiescent point, or not yet activated).
+  Snapshot snapshot() const;
+  // Roll back to `s` and schedule the task to resume at `resume_at`. Bumps
+  // the resume epoch first, so resume events from the abandoned timeline
+  // become no-ops.
+  void restore(const Snapshot& s, Time resume_at);
+
   // ---- Configuration / inspection ----
 
   // The resource representing this task's processor. Handlers that share the
@@ -101,9 +137,6 @@ class Task {
   void resume_for_engine();  // run until the task yields/blocks/finishes
 
  private:
-  enum class State : std::uint8_t { kNotStarted, kReady, kRunning, kBlocked,
-                                    kFinished };
-
   struct Cancelled {};  // thrown into the body to unwind on destruction
 
   static void trampoline_entry();
@@ -133,6 +166,10 @@ class Task {
   bool cancel_ = false;
   bool started_ = false;
   Time pending_wake_time_ = 0;
+  // Resume-event epoch: every scheduled resume captures the epoch at
+  // scheduling time and fires only if it still matches, so halt()/restore()
+  // can invalidate in-flight resume events without touching the queues.
+  std::uint64_t epoch_ = 0;
   std::exception_ptr exception_;
 
   std::vector<char> stack_;

@@ -22,23 +22,27 @@ void Tracer::set_track_name(int tid, std::string name) {
   track_names_[tid] = std::move(name);
 }
 
-void Tracer::span(int tid, const char* cat, std::string name, Time t0,
-                  Time t1) {
-  events_.push_back(Event{Kind::kSpan, tid, cat, std::move(name), t0, t1, 0});
+const char* Tracer::intern(std::string_view label) {
+  auto it = interned_.find(label);
+  if (it == interned_.end()) it = interned_.emplace(label).first;
+  return it->c_str();
 }
 
-std::uint64_t Tracer::flow_begin(int tid, const char* cat, std::string name,
+void Tracer::span(int tid, const char* cat, const char* name, Time t0,
+                  Time t1) {
+  events_.push_back(Event{Kind::kSpan, tid, cat, name, t0, t1, 0});
+}
+
+std::uint64_t Tracer::flow_begin(int tid, const char* cat, const char* name,
                                  Time t0, Time t1) {
   const std::uint64_t id = next_flow_++;
-  events_.push_back(
-      Event{Kind::kFlowSrc, tid, cat, std::move(name), t0, t1, id});
+  events_.push_back(Event{Kind::kFlowSrc, tid, cat, name, t0, t1, id});
   return id;
 }
 
 void Tracer::flow_end(std::uint64_t id, int tid, const char* cat,
-                      std::string name, Time t0, Time t1) {
-  events_.push_back(
-      Event{Kind::kFlowDst, tid, cat, std::move(name), t0, t1, id});
+                      const char* name, Time t0, Time t1) {
+  events_.push_back(Event{Kind::kFlowDst, tid, cat, name, t0, t1, id});
 }
 
 void Tracer::write(std::ostream& os) const {

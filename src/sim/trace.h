@@ -18,7 +18,9 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -32,16 +34,26 @@ class Tracer {
 
   void set_track_name(int tid, std::string name);
 
+  // Intern a dynamic label: returns a pointer that stays valid for the
+  // tracer's lifetime, allocating only on a label's first appearance. Spans
+  // and flows store `const char*` — recording a span with a label that
+  // repeats every iteration (loop names, message-type labels) costs zero
+  // allocations after the first, where it used to copy a std::string per
+  // event. Labels that ARE string literals can skip the call entirely.
+  const char* intern(std::string_view label);
+
   // Duration span [t0, t1] (virtual ns) on `tid`. Category is a static
-  // string: "loop", "miss", "ccc", "sync", "msg".
-  void span(int tid, const char* cat, std::string name, Time t0, Time t1);
+  // string: "loop", "miss", "ccc", "sync", "msg". The name must be a string
+  // literal or an intern()ed pointer — it is stored, not copied.
+  void span(int tid, const char* cat, const char* name, Time t0, Time t1);
 
   // Message arrow. flow_begin records the send-side slice [t0, t1] plus a
   // flow start bound to it and returns the flow id to ship inside the
   // message; flow_end records the dispatch-side slice and closes the arrow.
-  std::uint64_t flow_begin(int tid, const char* cat, std::string name,
+  // Name lifetime contract as in span().
+  std::uint64_t flow_begin(int tid, const char* cat, const char* name,
                            Time t0, Time t1);
-  void flow_end(std::uint64_t id, int tid, const char* cat, std::string name,
+  void flow_end(std::uint64_t id, int tid, const char* cat, const char* name,
                 Time t0, Time t1);
 
   std::size_t num_events() const { return events_.size(); }
@@ -57,7 +69,7 @@ class Tracer {
     Kind kind;
     int tid;
     const char* cat;
-    std::string name;
+    const char* name;  // literal or interned — never owned by the event
     Time t0;
     Time t1;
     std::uint64_t flow = 0;
@@ -65,6 +77,10 @@ class Tracer {
 
   std::vector<Event> events_;
   std::map<int, std::string> track_names_;
+  // Interned label storage: node-based, so c_str() pointers stay stable as
+  // the set grows. Heterogeneous lookup keeps repeat interning free of
+  // temporary std::string construction.
+  std::set<std::string, std::less<>> interned_;
   std::uint64_t next_flow_ = 1;
 };
 

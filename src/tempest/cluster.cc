@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <limits>
+#include <sstream>
 
 #include "src/sim/trace.h"
 #include "src/tempest/protocol.h"
 #include "src/util/assert.h"
+#include "src/util/log.h"
 
 namespace fgdsm::tempest {
 
@@ -56,7 +59,12 @@ Cluster::Cluster(ClusterConfig cfg)
     nodes_.push_back(std::make_unique<Node>(*this, i));
     Node* n = nodes_.back().get();
     stat_sinks.push_back(&n->stats);
-    auto sink = [n](sim::Message&& m, sim::Time arrival) {
+    auto sink = [this, n](sim::Message&& m, sim::Time arrival) {
+      // Timeline filter: a message stamped by a pre-rollback epoch is dead
+      // traffic from an abandoned timeline. This matters for loopback
+      // self-sends, which bypass the channel's duplicate suppression.
+      // Outside crash runs the stamp and the counter are both 0.
+      if (m.epoch != recovery_epoch_) return;
       n->deliver(std::move(m), arrival);
     };
     if (channel_ != nullptr)
@@ -66,6 +74,23 @@ Cluster::Cluster(ClusterConfig cfg)
   }
   if (fault_ != nullptr) fault_->set_stats(stat_sinks);
   if (channel_ != nullptr) channel_->set_stats(std::move(stat_sinks));
+  if (fault_ != nullptr && cfg_.faults.has_crashes() && cfg_.nnodes > 1) {
+    // Fail-stop mode: stamp outbound traffic with the recovery epoch, let
+    // the channel observe fail-stopped endpoints (a down node stops acking
+    // — the detection signal), and install the rollback hook the engine
+    // calls when the cluster stops making progress.
+    net_.set_epoch_stamp(&recovery_epoch_);
+    channel_->set_down_probe([this](int node) {
+      return nodes_[static_cast<std::size_t>(node)]->crashed();
+    });
+    engine_.set_recovery_hook([this] { return recover(); });
+  }
+  if (cfg_.checkpoint_every > 0 && cfg_.nnodes > 1)
+    engine_.set_window_hook([this] {
+      if (!ckpt_request_) return;
+      ckpt_request_ = false;
+      capture_checkpoint(ckpt_request_t_, /*at_barrier=*/true);
+    });
   // Lookahead: a lower bound on how quickly one node's compute task can
   // affect another node — composing a message plus the wire latency.
   engine_.set_lookahead(cfg_.costs.msg_send_overhead +
@@ -233,6 +258,7 @@ void Cluster::tree_barrier_step(int node, sim::Time t, const SendFn& send) {
     // — the globally quiescent point (see the centralized handler).
     if (cfg_.check_coherence && nodes_[0]->protocol != nullptr)
       nodes_[0]->protocol->check_invariants(*nodes_[0]);
+    if (on_barrier_complete(t)) return;  // releases deferred past the capture
     for (int c : tree_children(0)) {
       sim::Message rel;
       rel.dst = c;
@@ -303,6 +329,7 @@ void Cluster::register_builtin_handlers() {
           if (cfg_.check_coherence && self.protocol != nullptr)
             self.protocol->check_invariants(self);
           barrier_state.arrived = 0;
+          if (on_barrier_complete(clk.t)) return;  // releases deferred
           for (int i = 0; i < cfg_.nnodes; ++i) {
             sim::Message rel;
             rel.dst = i;
@@ -436,6 +463,196 @@ void Cluster::register_tree_handlers() {
       });
 }
 
+// ---- Fail-stop crashes + checkpoint/rollback recovery ----
+
+bool Cluster::on_barrier_complete(sim::Time t) {
+  if (cfg_.nnodes <= 1) return false;
+  ++barrier_epoch_;
+  if (fault_ != nullptr && cfg_.faults.crashp > 0.0) {
+    // Per-(seed, node, epoch) counter-mode draws: the verdicts are fixed by
+    // the configuration, identical at any --jobs/--sim-threads. The crash
+    // lands one window out so the event clears the merge horizon when it
+    // crosses partitions.
+    for (int i = 0; i < cfg_.nnodes; ++i) {
+      if (!fault_->crash_at_barrier(i, barrier_epoch_)) continue;
+      Node* np = nodes_[static_cast<std::size_t>(i)].get();
+      const sim::Time tc = t + engine_.window_lookahead();
+      engine_.schedule_node(i, tc, [np, tc] {
+        if (!np->crashed()) np->crash(tc);
+      });
+    }
+  }
+  if (cfg_.checkpoint_every <= 0 ||
+      barrier_epoch_ % static_cast<std::uint64_t>(cfg_.checkpoint_every) != 0)
+    return false;
+  // Checkpoint epoch: request the capture — it runs at the engine's window
+  // barrier, the only point where every task fiber is host-quiescent (this
+  // code runs inside one partition's drain; a late arriver's fiber may
+  // still be executing on another worker) — and hold the release fan-out
+  // until the window after it, so no node moves past the barrier before
+  // the capture sees it. The replayed fan-out is epoch-guarded: should a
+  // rollback intervene, the stale release must not fire.
+  ckpt_request_ = true;
+  ckpt_request_t_ = t;
+  const sim::Time tr = t + engine_.window_lookahead();
+  engine_.schedule_node(0, tr, [this, tr, e = recovery_epoch_] {
+    if (e == recovery_epoch_) finish_barrier_release(tr);
+  });
+  return true;
+}
+
+void Cluster::finish_barrier_release(sim::Time t) {
+  Node& root = *nodes_[0];
+  // A root that crashed in the deferral window sends nothing; the parked
+  // survivors stop the clock, and the engine's drained-queue path hands
+  // control to the recovery hook.
+  if (root.crashed()) return;
+  HandlerClock clk{root.proto_res().acquire(t, 0)};
+  if (cfg_.collectives == Collectives::kFlat) {
+    for (int i = 0; i < cfg_.nnodes; ++i) {
+      sim::Message rel;
+      rel.dst = i;
+      rel.type = static_cast<std::uint16_t>(MsgType::kBarrierRelease);
+      root.send_from_handler(clk, std::move(rel));
+    }
+  } else {
+    for (int c : tree_children(0)) {
+      sim::Message rel;
+      rel.dst = c;
+      rel.type = static_cast<std::uint16_t>(MsgType::kBarrierRelease);
+      root.send_from_handler(clk, std::move(rel));
+    }
+    root.barrier_sem.post(clk.t);
+  }
+  root.proto_res().set_available(clk.t);
+}
+
+void Cluster::capture_always(GAddr base, std::size_t bytes) {
+  if (bytes == 0) return;
+  capture_always_ranges_.emplace_back(base, bytes);
+  capture_always_blocks_.clear();  // rebuilt at the next capture
+}
+
+void Cluster::capture_checkpoint(sim::Time t, bool at_barrier) {
+  const std::size_t bs = cfg_.block_size;
+  const std::size_t nb = num_blocks();
+  if (capture_always_blocks_.size() != nb) {
+    capture_always_blocks_.assign(nb, 0);
+    for (const auto& [base, bytes] : capture_always_ranges_) {
+      const BlockId last = block_of(base + bytes - 1);
+      for (BlockId b = block_of(base); b <= last && b < nb; ++b)
+        capture_always_blocks_[b] = 1;
+    }
+  }
+  ckpt_.t = t;
+  ckpt_.nodes.assign(static_cast<std::size_t>(cfg_.nnodes), NodeCheckpoint{});
+  ckpt_.host_blobs.clear();
+  ckpt_.host_blobs.reserve(host_hooks_.size());
+  for (const HostStateHook& h : host_hooks_)
+    ckpt_.host_blobs.push_back(h.capture ? h.capture() : nullptr);
+  for (int i = 0; i < cfg_.nnodes; ++i) {
+    Node& n = *nodes_[static_cast<std::size_t>(i)];
+    NodeCheckpoint& c = ckpt_.nodes[static_cast<std::size_t>(i)];
+    c.tags.assign(n.tags_data(), n.tags_data() + n.ntags());
+    // Memory: only blocks this node can legitimately read, or homes (their
+    // backing is the directory's ground truth even while invalid locally),
+    // plus capture-always ranges — storage outside the protocol's view.
+    // Everything else re-faults through the protocol after rollback.
+    for (BlockId b = 0; b < nb; ++b)
+      if (c.tags[b] != Access::kInvalid || home_of(b) == i ||
+          capture_always_blocks_[b] != 0)
+        c.blocks.push_back(b);
+    c.data.resize(c.blocks.size() * bs);
+    for (std::size_t k = 0; k < c.blocks.size(); ++k)
+      std::memcpy(c.data.data() + k * bs, n.mem(block_addr(c.blocks[k])), bs);
+    c.task = n.task()->snapshot();
+    // At a barrier capture the completed barrier's never-resent release is
+    // folded in as a count of 1: a restored node resumes inside
+    // barrier_sem.wait and proceeds as if the release had just arrived.
+    c.barrier_sem = at_barrier ? 1 : n.barrier_sem.count();
+    c.reduce_sem = n.reduce_sem.count();
+    c.recv_sem = n.recv_sem.count();
+    c.drain_sem = n.drain_sem.count();
+    c.reduce_result = n.reduce_result;
+    c.protocol =
+        n.protocol != nullptr ? n.protocol->capture_snapshot(n) : nullptr;
+    c.bytes = static_cast<std::int64_t>(
+        c.data.size() + c.tags.size() * sizeof(Access) + c.task.bytes());
+    n.stats.checkpoints += 1;
+    n.stats.checkpoint_bytes += static_cast<std::uint64_t>(c.bytes);
+    // The serialization charge lands when this node's release arrives —
+    // the first point its task runs after the capture. (The initial t=0
+    // capture is free: it models the job's pristine on-disk image.)
+    if (at_barrier) n.set_pending_checkpoint(c.bytes);
+  }
+  ckpt_.valid = true;
+  FGDSM_LOG("ckpt", "checkpoint @" << t << " barrier_epoch="
+                                   << barrier_epoch_);
+}
+
+bool Cluster::recover() {
+  int dead = -1;
+  for (int i = 0; i < cfg_.nnodes; ++i)
+    if (nodes_[static_cast<std::size_t>(i)]->crashed()) {
+      dead = i;
+      break;
+    }
+  if (dead < 0) return false;  // a genuine stall/deadlock, not a crash
+  if (!ckpt_.valid) {
+    std::ostringstream os;
+    os << "node " << dead
+       << " crashed with no checkpoint to roll back to "
+          "(run with --checkpoint-every=K to enable recovery)\n"
+       << engine_.describe_blocked_tasks();
+    throw sim::CrashError(os.str());
+  }
+  // Coordinated rollback-restart. Resume strictly after every partition's
+  // committed time (events must not land in the past), plus the fixed
+  // coordination cost of the restart itself.
+  const sim::Time t_rec = engine_.max_partition_now() + cfg_.costs.ckpt_base_ns;
+  ++recovery_epoch_;  // everything stamped before this instant is now dead
+  if (channel_ != nullptr) channel_->reset_for_recovery();
+  const std::size_t bs = cfg_.block_size;
+  for (int i = 0; i < cfg_.nnodes; ++i) {
+    Node& n = *nodes_[static_cast<std::size_t>(i)];
+    const NodeCheckpoint& c = ckpt_.nodes[static_cast<std::size_t>(i)];
+    n.reincarnate();
+    n.clear_inbox();  // survivors too: queued handlers are dead-timeline work
+    std::copy(c.tags.begin(), c.tags.end(), n.tags_data());
+    for (std::size_t k = 0; k < c.blocks.size(); ++k)
+      std::memcpy(n.mem(block_addr(c.blocks[k])), c.data.data() + k * bs, bs);
+    n.barrier_sem.restore_for_recovery(c.barrier_sem);
+    n.reduce_sem.restore_for_recovery(c.reduce_sem);
+    n.recv_sem.restore_for_recovery(c.recv_sem);
+    n.drain_sem.restore_for_recovery(c.drain_sem);
+    n.reduce_result = c.reduce_result;
+    if (n.protocol != nullptr) n.protocol->restore_snapshot(n, c.protocol);
+    n.set_pending_checkpoint(-1);
+    n.task()->restore(c.task, t_rec);
+    // Stats deliberately NOT rolled back: re-executed work is real simulated
+    // work, and the bit-identity gate covers results, not effort counters.
+    n.stats.recoveries += 1;
+    n.stats.rollback_ns += static_cast<std::int64_t>(t_rec - ckpt_.t);
+  }
+  // Coordinator collective books restart from scratch; partial arrivals
+  // belong to the abandoned timeline.
+  barrier_state.arrived = 0;
+  reduce_state.arrived = 0;
+  std::fill(tree_arrived.begin(), tree_arrived.end(), 0);
+  std::fill(tree_self_arrived.begin(), tree_self_arrived.end(), 0);
+  std::fill(tree_red_arrived.begin(), tree_red_arrived.end(), 0);
+  std::fill(tree_red_self.begin(), tree_red_self.end(), 0);
+  ckpt_request_ = false;  // any capture requested on the dead timeline
+  for (std::size_t h = 0; h < host_hooks_.size(); ++h)
+    if (host_hooks_[h].restore) host_hooks_[h].restore(ckpt_.host_blobs[h]);
+  if (sim::Tracer* tr = cfg_.tracer)
+    tr->span(sim::Tracer::compute_track(dead), "recovery", "rollback",
+             ckpt_.t, t_rec);
+  FGDSM_LOG("ckpt", "rollback: node " << dead << " crashed; restored @"
+                                      << ckpt_.t << ", resuming @" << t_rec);
+  return true;
+}
+
 util::RunStats Cluster::run(
     const std::function<void(Node&, sim::Task&)>& program) {
   FGDSM_ASSERT_MSG(!ran_, "Cluster::run is one-shot");
@@ -453,14 +670,13 @@ util::RunStats Cluster::run(
     }
   }
 
-  std::vector<std::unique_ptr<sim::Task>> tasks;
-  tasks.reserve(nodes_.size());
+  tasks_.reserve(nodes_.size());
   for (int i = 0; i < cfg_.nnodes; ++i) {
     Node* n = nodes_[static_cast<std::size_t>(i)].get();
-    tasks.push_back(std::make_unique<sim::Task>(
+    tasks_.push_back(std::make_unique<sim::Task>(
         engine_, "node" + std::to_string(i),
         [n, &program](sim::Task& t) { program(*n, t); }));
-    sim::Task* t = tasks.back().get();
+    sim::Task* t = tasks_.back().get();
     t->set_partition(i);  // node i's compute task lives in partition i
     t->set_cpu(&n->cpu_res());
     t->set_node_id(i);
@@ -468,13 +684,34 @@ util::RunStats Cluster::run(
     n->bind_task(t);
     t->start(0);
   }
+  // Explicit fail-stop schedules (--faults=crash=N@T). Single-node runs
+  // have no peers to detect or recover a crash, so injection is skipped
+  // there (matching run_single, which has no recovery hooks); out-of-range
+  // nodes are tolerated so one fault spec can serve several cluster sizes.
+  if (fault_ != nullptr && cfg_.nnodes > 1) {
+    for (const std::pair<int, sim::Time>& cr : cfg_.faults.crashes) {
+      const int nd = cr.first;
+      if (nd < 0 || nd >= cfg_.nnodes) continue;
+      Node* np = nodes_[static_cast<std::size_t>(nd)].get();
+      const sim::Time tc = cr.second;
+      engine_.schedule_node(nd, tc, [np, tc] {
+        if (!np->crashed()) np->crash(tc);
+      });
+    }
+  }
+  // Initial checkpoint: a crash before the first checkpointed barrier must
+  // still be recoverable. Capture the pristine post-layout state at t=0 —
+  // tasks are created but not yet activated, and a kReady snapshot restores
+  // through the first-activation path.
+  if (cfg_.checkpoint_every > 0 && cfg_.nnodes > 1)
+    capture_checkpoint(0, /*at_barrier=*/false);
   engine_.run();
 
   util::RunStats rs(cfg_.nnodes);
   rs.elapsed_ns = 0;
   for (int i = 0; i < cfg_.nnodes; ++i) {
     rs.node[static_cast<std::size_t>(i)] = nodes_[static_cast<std::size_t>(i)]->stats;
-    rs.elapsed_ns = std::max(rs.elapsed_ns, tasks[static_cast<std::size_t>(i)]->now());
+    rs.elapsed_ns = std::max(rs.elapsed_ns, tasks_[static_cast<std::size_t>(i)]->now());
     nodes_[static_cast<std::size_t>(i)]->bind_task(nullptr);
   }
   return rs;

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -33,6 +34,13 @@ class Cluster {
   // address is page-aligned so arrays start on block boundaries.
   GAddr allocate(const std::string& name, std::size_t bytes);
   std::size_t segment_bytes() const { return segment_bytes_; }
+  // Mark an address range capture-always: its blocks join every node's
+  // checkpoint regardless of tag state. Storage that bypasses access
+  // control (replicated arrays, the MP backend's private copies) keeps live
+  // data in blocks whose tags never leave the bootstrap state, so the
+  // tag-predicated capture cannot see it — and a rollback that skips those
+  // blocks leaves abandoned-timeline writes in the surviving replicas.
+  void capture_always(GAddr base, std::size_t bytes);
 
   // ---- Geometry ----
   int nnodes() const { return cfg_.nnodes; }
@@ -59,6 +67,21 @@ class Cluster {
   // Returns per-node statistics and the elapsed virtual time.
   util::RunStats run(
       const std::function<void(Node&, sim::Task&)>& program);
+
+  // ---- Host-state checkpoint hooks ----
+  // Layers above the cluster (the executor, the MP/irregular runtimes) keep
+  // per-node execution state outside node memory — loop counters, scalars,
+  // message stashes. They register a capture/restore pair here; capture runs
+  // at every checkpoint and returns an opaque blob, restore applies it
+  // during rollback. Registration order is preserved (blobs are
+  // index-aligned). Register before run().
+  struct HostStateHook {
+    std::function<std::shared_ptr<void>()> capture;
+    std::function<void(const std::shared_ptr<void>&)> restore;
+  };
+  void register_host_state_hook(HostStateHook h) {
+    host_hooks_.push_back(std::move(h));
+  }
 
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return net_; }
@@ -157,6 +180,52 @@ class Cluster {
   void register_builtin_handlers();
   void register_tree_handlers();
 
+  // ---- Checkpoint / rollback recovery (fail-stop crashes) ----
+  // One node's share of a checkpoint. Memory is captured per block, only for
+  // blocks the node can legitimately read (tag != kInvalid) or homes —
+  // everything else re-faults through the protocol after rollback, exactly
+  // as the paper's fine-grain access control intends.
+  struct NodeCheckpoint {
+    std::vector<BlockId> blocks;   // captured block ids, ascending
+    std::vector<std::byte> data;   // blocks.size() * block_size bytes
+    std::vector<Access> tags;      // full tag array
+    sim::Task::Snapshot task;
+    std::int64_t barrier_sem = 0;  // value to restore (1 at barrier capture:
+                                   // the completed barrier's release, folded)
+    std::int64_t reduce_sem = 0;
+    std::int64_t recv_sem = 0;
+    std::int64_t drain_sem = 0;
+    double reduce_result = 0.0;
+    std::shared_ptr<void> protocol;  // Protocol::capture_snapshot handle
+    std::int64_t bytes = 0;          // serialized size charged to the model
+  };
+  struct Checkpoint {
+    bool valid = false;
+    sim::Time t = 0;  // virtual time of capture (rollback_ns accounting)
+    std::vector<NodeCheckpoint> nodes;
+    std::vector<std::shared_ptr<void>> host_blobs;  // per registered hook
+  };
+  // Barrier-completion bookkeeping shared by the flat and tree coordinators:
+  // advance the (monotonic, never rolled back) barrier epoch, draw
+  // probabilistic crashes for it, and request a checkpoint on every K-th
+  // epoch. Runs at the root-completion quiescent point, before any release
+  // is sent. Returns true when this is a checkpoint epoch: the caller must
+  // then SKIP its inline release fan-out — the capture itself runs at the
+  // engine's window barrier (the request event runs inside one partition's
+  // drain, where other partitions' task fibers may still be executing on
+  // their host workers and cannot be snapshotted), and the releases are
+  // replayed one window later by finish_barrier_release so no node moves
+  // past the barrier before the capture sees it.
+  bool on_barrier_complete(sim::Time t);
+  // Deferred release fan-out for checkpoint epochs: same messages/costs as
+  // the inline path, charged to node 0's protocol processor at time t.
+  void finish_barrier_release(sim::Time t);
+  void capture_checkpoint(sim::Time t, bool at_barrier);
+  // Engine recovery hook: true = rolled back and rescheduled, keep running;
+  // false = no crashed node (let the normal failure path proceed). Throws
+  // sim::CrashError when a node crashed but no checkpoint exists.
+  bool recover();
+
   ClusterConfig cfg_;
   sim::Engine engine_;
   sim::Network net_;
@@ -173,6 +242,32 @@ class Cluster {
   std::size_t segment_bytes_ = 0;
   std::vector<std::pair<std::string, GAddr>> regions_;
   bool ran_ = false;
+  // Compute tasks live for the whole run (member, not run()-local, so the
+  // recovery hook can restore their snapshots mid-run).
+  std::vector<std::unique_ptr<sim::Task>> tasks_;
+  std::vector<HostStateHook> host_hooks_;
+  Checkpoint ckpt_;
+  // capture_always ranges and the per-block bitmap derived from them. The
+  // bitmap is (re)built inside capture_checkpoint — ranges can be marked
+  // before the segment layout is final, when num_blocks() is still growing.
+  std::vector<std::pair<GAddr, std::size_t>> capture_always_ranges_;
+  std::vector<std::uint8_t> capture_always_blocks_;
+  // Capture request handed from the barrier root (partition-drain context)
+  // to the engine window hook (coordinator context); the window barrier
+  // provides the happens-before.
+  bool ckpt_request_ = false;
+  sim::Time ckpt_request_t_ = 0;
+  // Completed-global-barrier count. Monotonic across recoveries on purpose:
+  // a rolled-back run re-executes its barriers under FRESH epoch numbers, so
+  // crashp draws (keyed on the epoch) never replay the same verdict and the
+  // run makes progress.
+  std::uint64_t barrier_epoch_ = 0;
+  // Bumped once per rollback. Outbound messages are stamped with it
+  // (Network::set_epoch_stamp) and the delivery sink drops any message from
+  // an abandoned timeline — the kill switch for stale in-flight traffic the
+  // channel's sequence reset cannot see (loopback self-sends bypass the
+  // channel's dedup).
+  std::uint32_t recovery_epoch_ = 0;
 };
 
 }  // namespace fgdsm::tempest

@@ -112,6 +112,12 @@ struct ClusterConfig {
   // Progress watchdog (--watchdog-ns=N): fail with sim::StallError if no
   // compute task advances for N virtual ns while work remains. 0 = off.
   sim::Time watchdog_ns = 0;
+  // Checkpoint interval in barriers (--checkpoint-every=K): at every K-th
+  // completed global barrier each node serializes its owned pages, tags,
+  // protocol directory and runtime state into the in-sim checkpoint store
+  // (bytes/time charged via CostModel::ckpt_*). 0 disables checkpointing —
+  // a crash then raises sim::CrashError instead of recovering.
+  int checkpoint_every = 0;
   // Worker threads for the engine's conservative synchronous-window
   // parallel mode (--sim-threads=N). Bit-identical results at any value —
   // the engine always partitions per node and only the draining thread
@@ -133,6 +139,8 @@ struct ClusterConfig {
                      "block size must be a power of two >= 8");
     FGDSM_ASSERT_MSG(page_size % block_size == 0,
                      "page size must be a multiple of block size");
+    FGDSM_ASSERT_MSG(checkpoint_every >= 0,
+                     "--checkpoint-every must be >= 0 (0 = off)");
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <unordered_set>
 
@@ -17,6 +18,17 @@
 #include "src/util/log.h"
 
 namespace fgdsm::tempest {
+
+namespace {
+// "tx <type>" / "h <type>" span labels, interned: the send and dispatch hot
+// paths record one of these per message, and building a std::string there
+// dominated allocs/event in traced runs.
+const char* msg_label(sim::Tracer& tr, const char* prefix, MsgType type) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s %s", prefix, to_string(type));
+  return tr.intern(buf);
+}
+}  // namespace
 
 Node::Node(Cluster& cluster, int id) : cluster_(cluster), id_(id) {
   barrier_sem.set_name("barrier");
@@ -252,9 +264,9 @@ void Node::send(sim::Task& task, sim::Message m) {
   stats.bytes_sent += static_cast<std::uint64_t>(
       m.size_bytes(cluster_.costs().msg_header_bytes));
   if (auto* tr = cluster_.tracer()) {
-    const char* what = to_string(static_cast<MsgType>(m.type));
     m.trace_id = tr->flow_begin(
-        sim::Tracer::compute_track(id_), "msg", std::string("tx ") + what,
+        sim::Tracer::compute_track(id_), "msg",
+        msg_label(*tr, "tx", static_cast<MsgType>(m.type)),
         task.now() - cluster_.costs().msg_send_overhead, task.now());
   }
   cluster_.transmit(task.now(), std::move(m));
@@ -267,17 +279,29 @@ void Node::send_from_handler(HandlerClock& clk, sim::Message m) {
   stats.bytes_sent += static_cast<std::uint64_t>(
       m.size_bytes(cluster_.costs().msg_header_bytes));
   if (auto* tr = cluster_.tracer()) {
-    const char* what = to_string(static_cast<MsgType>(m.type));
     m.trace_id = tr->flow_begin(
-        sim::Tracer::protocol_track(id_), "msg", std::string("tx ") + what,
+        sim::Tracer::protocol_track(id_), "msg",
+        msg_label(*tr, "tx", static_cast<MsgType>(m.type)),
         clk.t - cluster_.costs().msg_send_overhead, clk.t);
   }
   cluster_.transmit(clk.t, std::move(m));
 }
 
 void Node::deliver(sim::Message&& m, sim::Time arrival) {
+  if (crashed_) return;  // a fail-stopped node absorbs traffic silently
   inbox_.push_back(PendingMsg{std::move(m), arrival});
   if (!handler_active_) schedule_next_handler(arrival);
+}
+
+void Node::crash(sim::Time t) {
+  FGDSM_ASSERT_MSG(!crashed_, "node " << id_ << " crashed twice");
+  crashed_ = true;
+  ++stats.crashes;
+  inbox_.clear();
+  if (task_ != nullptr) task_->halt();
+  FGDSM_LOG("crash", "node " << id_ << " fail-stop at t=" << t);
+  if (auto* tr = cluster_.tracer())
+    tr->span(sim::Tracer::compute_track(id_), "crash", "crash", t, t);
 }
 
 void Node::schedule_next_handler(sim::Time earliest) {
@@ -288,7 +312,15 @@ void Node::schedule_next_handler(sim::Time earliest) {
 }
 
 void Node::execute_one_handler() {
-  FGDSM_ASSERT(!inbox_.empty());
+  if (inbox_.empty()) {
+    // A crash or rollback cleared the inbox under an already-scheduled
+    // handler event (or a pre-rollback event outlived the timeline that
+    // scheduled it). Resetting the flag re-arms scheduling for the next
+    // delivery; if a fresher delivery already chained onto the stale event,
+    // FIFO order is preserved either way.
+    handler_active_ = false;
+    return;
+  }
   PendingMsg pm = inbox_.pop_front();
   // The protocol resource may have moved on (single-cpu: computation shares
   // it); acquire() starts the handler no earlier than now and no earlier
@@ -304,8 +336,8 @@ void Node::execute_one_handler() {
   // next block/chunk producer reuses it instead of allocating.
   cluster_.payload_pool().release(std::move(pm.msg.payload));
   if (auto* tr = cluster_.tracer()) {
-    const std::string name =
-        std::string("h ") + to_string(static_cast<MsgType>(pm.msg.type));
+    const char* name =
+        msg_label(*tr, "h", static_cast<MsgType>(pm.msg.type));
     if (pm.msg.trace_id != 0)
       tr->flow_end(pm.msg.trace_id, sim::Tracer::protocol_track(id_), "msg",
                    name, h_start, clk.t);
@@ -349,6 +381,22 @@ void Node::barrier(sim::Task& task) {
   if (auto* tr = cluster_.tracer())
     tr->span(sim::Tracer::compute_track(id_), "sync", "barrier", t0,
              task.now());
+  if (pending_ckpt_bytes_ >= 0) {
+    // The barrier-root capture ran at this barrier's completion point and
+    // left our byte count; pay the serialization cost on our own clock, at
+    // the first instant we run after the capture.
+    const std::int64_t bytes = pending_ckpt_bytes_;
+    pending_ckpt_bytes_ = -1;
+    const sim::Time c0 = task.now();
+    task.charge(cluster_.costs().ckpt_base_ns +
+                static_cast<sim::Time>(static_cast<double>(bytes) *
+                                       cluster_.costs().ckpt_ns_per_byte));
+    ++stats.checkpoints;
+    stats.checkpoint_bytes += static_cast<std::uint64_t>(bytes);
+    if (auto* tr = cluster_.tracer())
+      tr->span(sim::Tracer::compute_track(id_), "ckpt", "checkpoint", c0,
+               task.now());
+  }
 }
 
 double Node::allreduce(sim::Task& task, double v, ReduceOp op) {

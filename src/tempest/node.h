@@ -112,6 +112,30 @@ class Node {
                        bool dual_cpu);
   void bind_task(sim::Task* t);
 
+  // ---- Fail-stop crash + rollback recovery (Cluster only) ----
+  // Fail-stop this node at virtual time t: the compute task halts, queued
+  // and future inbound messages are dropped (deliver() turns into a sink),
+  // and the node stops acking (the channel's down-probe reads crashed()).
+  // Runs as an event in this node's own partition — no cross-partition
+  // state is touched.
+  void crash(sim::Time t);
+  bool crashed() const { return crashed_; }
+  // Recovery: bring a crashed node back (its state is rolled back by the
+  // cluster alongside every survivor's).
+  void reincarnate() { crashed_ = false; }
+  void clear_inbox() { inbox_.clear(); }
+  // Checkpoint cost debit: set by the barrier-root capture, charged to this
+  // node's clock (plus stats) when its own barrier release arrives (the
+  // first point the node's task runs after the capture). -1 = none pending.
+  void set_pending_checkpoint(std::int64_t bytes) {
+    pending_ckpt_bytes_ = bytes;
+  }
+  // Raw state access for checkpoint capture/restore.
+  std::size_t mem_bytes() const { return mem_bytes_; }
+  std::size_t ntags() const { return ntags_; }
+  Access* tags_data() { return tags_.get(); }
+  const Access* tags_data() const { return tags_.get(); }
+
  private:
   struct PendingMsg {
     sim::Message msg;
@@ -124,6 +148,7 @@ class Node {
   class InboxRing {
    public:
     bool empty() const { return head_ == tail_; }
+    void clear() { head_ = tail_ = 0; }  // slots are overwritten on reuse
     PendingMsg& front() { return buf_[head_ & (buf_.size() - 1)]; }
     void push_back(PendingMsg&& m) {
       if (tail_ - head_ == buf_.size()) grow();
@@ -176,6 +201,8 @@ class Node {
   sim::Task* task_ = nullptr;
   InboxRing inbox_;
   bool handler_active_ = false;
+  bool crashed_ = false;  // fail-stopped; written only from our partition
+  std::int64_t pending_ckpt_bytes_ = -1;  // -1 = no checkpoint debit pending
 };
 
 }  // namespace fgdsm::tempest

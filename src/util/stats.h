@@ -58,6 +58,19 @@ struct NodeStats {
   std::uint64_t faults_duplicated = 0;  // messages the injector duplicated
   std::uint64_t faults_delayed = 0;     // messages the injector delayed
 
+  // Fail-stop crash injection + checkpoint/rollback recovery (--faults=
+  // crash=/crashp= with --checkpoint-every=K). All zero in fault-free runs.
+  // crashes land on the node that died; recoveries/checkpoints are counted
+  // on every participating node (a rollback is cluster-wide);
+  // checkpoint_bytes is the serialized state this node contributed;
+  // rollback_ns is virtual time lost to rollback (resume point minus the
+  // restored checkpoint's capture time), summed over recoveries.
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::int64_t rollback_ns = 0;
+
   // Barriers/reductions participated in.
   std::uint64_t barriers = 0;
   std::uint64_t reductions = 0;
@@ -99,6 +112,11 @@ struct NodeStats {
     fn("faults_dropped", &NodeStats::faults_dropped);
     fn("faults_duplicated", &NodeStats::faults_duplicated);
     fn("faults_delayed", &NodeStats::faults_delayed);
+    fn("crashes", &NodeStats::crashes);
+    fn("recoveries", &NodeStats::recoveries);
+    fn("checkpoints", &NodeStats::checkpoints);
+    fn("checkpoint_bytes", &NodeStats::checkpoint_bytes);
+    fn("rollback_ns", &NodeStats::rollback_ns);
     fn("barriers", &NodeStats::barriers);
     fn("reductions", &NodeStats::reductions);
     fn("compute_ns", &NodeStats::compute_ns);

@@ -34,7 +34,7 @@ using tempest::Node;
 // drives +=, -=, totals() and the JSON emission). The sizeof tripwire makes
 // adding a field without extending the visitor a compile error.
 
-static_assert(sizeof(util::NodeStats) == 27 * 8,
+static_assert(sizeof(util::NodeStats) == 32 * 8,
               "NodeStats changed size: extend visit_members (stats.h) and "
               "update this tripwire");
 
@@ -42,7 +42,7 @@ TEST(NodeStats, VisitorCoversEveryField) {
   std::size_t count = 0;
   util::NodeStats s;
   util::NodeStats::visit_fields(s, [&](const char*, auto) { ++count; });
-  EXPECT_EQ(count, 27u);
+  EXPECT_EQ(count, 32u);
 }
 
 TEST(NodeStats, AccumulateRoundTripsAllDistinctValues) {
